@@ -1,0 +1,87 @@
+// Command chronusd runs the Chronus controller as a daemon: it boots the
+// emulated ten-switch data plane (the Mininet stand-in), starts one switch
+// agent per switch on its own TCP socket speaking the ofp control protocol,
+// connects the controller to each, provisions the aggregate flow, and
+// exposes a REST API for inspecting and updating the network — the shape of
+// the paper's Floodlight-based prototype.
+//
+//	chronusd -addr :8080
+//
+//	GET  /status                     controller and data-plane summary
+//	GET  /topology                   switches, links, current routes
+//	GET  /switches/{name}/rules      a switch's flow table
+//	GET  /links                      per-link rates, counters, overloads
+//	GET  /bandwidth?from=R2&to=R10&interval=50&samples=10
+//	POST /advance  {"ticks": 100}    advance virtual time
+//	POST /update   {"method": "chronus"}   chronus | chronus-fast | tp | or
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+
+	"github.com/chronus-sdn/chronus/internal/ofp"
+	"github.com/chronus-sdn/chronus/internal/switchd"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "REST listen address")
+	seed := flag.Int64("seed", 1, "seed for control latency and clock ensemble")
+	flag.Parse()
+
+	srv, err := newServer(*seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chronusd:", err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+	fmt.Printf("chronusd: %d switch agents on TCP, REST on http://%s\n", srv.agentCount(), *addr)
+	if err := http.ListenAndServe(*addr, srv.handler()); err != nil {
+		fmt.Fprintln(os.Stderr, "chronusd:", err)
+		os.Exit(1)
+	}
+}
+
+// bootAgents starts one TCP listener + agent per switch and connects the
+// controller to each, returning the listeners for cleanup.
+func bootAgents(srv *server) error {
+	in := srv.in
+	for _, id := range in.G.Nodes() {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		srv.listeners = append(srv.listeners, ln)
+		agent := switchd.New(srv.tb.Net, id, srv.clock)
+		go func() {
+			for {
+				conn, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				oc := ofp.NewConn(conn)
+				agent.SetNotify(func(m ofp.Msg) { _ = oc.Send(m) })
+				go func() {
+					defer oc.Close()
+					_ = switchd.Serve(oc, agent, srv.tb.Do)
+				}()
+			}
+		}()
+		conn, err := ofp.Dial(ln.Addr().String())
+		if err != nil {
+			return err
+		}
+		srv.conns = append(srv.conns, conn)
+		name, err := srv.ctl.AttachTCP(id, conn)
+		if err != nil {
+			return err
+		}
+		if name != in.G.Name(id) {
+			return fmt.Errorf("switch %d announced %q, want %q", id, name, in.G.Name(id))
+		}
+	}
+	return nil
+}

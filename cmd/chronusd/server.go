@@ -1,0 +1,285 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	chronus "github.com/chronus-sdn/chronus"
+	"github.com/chronus-sdn/chronus/internal/ofp"
+)
+
+// server holds the daemon's state: the emulated network, its switch agents
+// (reachable over TCP), the controller, and the flow being managed.
+type server struct {
+	in    *chronus.Instance
+	tb    *chronus.Testbed
+	ctl   *chronus.Controller
+	clock *chronus.ClockEnsemble
+	flow  chronus.FlowSpec
+
+	mu      sync.Mutex
+	updated bool
+
+	listeners []net.Listener
+	conns     []*ofp.Conn
+}
+
+func newServer(seed int64) (*server, error) {
+	in := chronus.EmulationTopo()
+	tb := chronus.NewTestbed(in.G)
+	srv := &server{
+		in:    in,
+		tb:    tb,
+		ctl:   chronus.NewController(tb, chronus.ControllerOptions{Seed: seed}),
+		clock: chronus.NewClockEnsemble(chronus.DefaultClockParams(seed), in.G.Nodes()),
+		flow:  chronus.FlowSpec{Name: "agg", Tag: 0, Path: in.Init, Rate: chronus.Rate(in.Demand)},
+	}
+	if err := bootAgents(srv); err != nil {
+		srv.Close()
+		return nil, err
+	}
+	if err := srv.ctl.Provision(srv.flow); err != nil {
+		srv.Close()
+		return nil, err
+	}
+	srv.tb.AdvanceBy(200)
+	return srv, nil
+}
+
+func (s *server) agentCount() int { return len(s.conns) }
+
+// Close shuts the TCP plumbing down.
+func (s *server) Close() {
+	for _, c := range s.conns {
+		c.Close()
+	}
+	for _, ln := range s.listeners {
+		ln.Close()
+	}
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /status", s.handleStatus)
+	mux.HandleFunc("GET /topology", s.handleTopology)
+	mux.HandleFunc("GET /links", s.handleLinks)
+	mux.HandleFunc("GET /switches/{name}/rules", s.handleRules)
+	mux.HandleFunc("GET /bandwidth", s.handleBandwidth)
+	mux.HandleFunc("POST /advance", s.handleAdvance)
+	mux.HandleFunc("GET /packetins", s.handlePacketIns)
+	mux.HandleFunc("POST /update", s.handleUpdate)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *server) handlePacketIns(w http.ResponseWriter, r *http.Request) {
+	type pin struct {
+		Switch string `json:"switch"`
+		Flow   string `json:"flow"`
+		Tag    uint16 `json:"tag"`
+		Reason string `json:"reason"`
+	}
+	out := []pin{}
+	for _, p := range s.ctl.PacketIns() {
+		reason := "no-match"
+		if p.Reason == ofp.ReasonTTLExpired {
+			reason = "ttl-expired"
+		}
+		out = append(out, pin{
+			Switch: s.in.G.Name(chronus.NodeID(p.SwitchID)),
+			Flow:   p.Flow,
+			Tag:    p.Tag,
+			Reason: reason,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	updated := s.updated
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"now":             s.tb.Now(),
+		"switches":        s.in.G.NumNodes(),
+		"links":           s.in.G.NumLinks(),
+		"agents":          s.agentCount(),
+		"updated":         updated,
+		"congested_links": s.tb.Net.CongestedLinks(),
+	})
+}
+
+func (s *server) handleTopology(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"graph":   s.in.G,
+		"initial": s.in.Init.Format(s.in.G),
+		"final":   s.in.Fin.Format(s.in.G),
+		"demand":  s.in.Demand,
+	})
+}
+
+func (s *server) handleLinks(w http.ResponseWriter, r *http.Request) {
+	type linkInfo struct {
+		From      string  `json:"from"`
+		To        string  `json:"to"`
+		Capacity  int64   `json:"capacity"`
+		Rate      int64   `json:"rate"`
+		Bytes     float64 `json:"bytes"`
+		Overloads int     `json:"overloads"`
+	}
+	var out []linkInfo
+	s.tb.Do(func() {
+		for _, l := range s.tb.Net.Links() {
+			out = append(out, linkInfo{
+				From:      s.in.G.Name(l.From()),
+				To:        s.in.G.Name(l.To()),
+				Capacity:  int64(l.Capacity()),
+				Rate:      int64(l.Rate()),
+				Bytes:     l.Bytes(),
+				Overloads: len(l.Overloads()),
+			})
+		}
+	})
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) handleRules(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	id := s.in.G.Lookup(name)
+	if id == chronus.Invalid {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no switch %q", name))
+		return
+	}
+	var rules any
+	s.tb.Do(func() {
+		rules = s.tb.Net.Switch(id).DumpRules()
+	})
+	writeJSON(w, http.StatusOK, rules)
+}
+
+func (s *server) handleBandwidth(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	from := s.in.G.Lookup(q.Get("from"))
+	to := s.in.G.Lookup(q.Get("to"))
+	if from == chronus.Invalid || to == chronus.Invalid {
+		writeErr(w, http.StatusBadRequest, errors.New("unknown from/to switch"))
+		return
+	}
+	interval, _ := strconv.Atoi(q.Get("interval"))
+	if interval <= 0 {
+		interval = 50
+	}
+	samples, _ := strconv.Atoi(q.Get("samples"))
+	if samples <= 0 || samples > 1000 {
+		samples = 10
+	}
+	out, err := s.ctl.SampleLink(from, to, chronus.SimTime(interval), samples)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) handleAdvance(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Ticks int64 `json:"ticks"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Ticks <= 0 || req.Ticks > 1_000_000 {
+		writeErr(w, http.StatusBadRequest, errors.New("body must be {\"ticks\": 1..1000000}"))
+		return
+	}
+	s.tb.AdvanceBy(chronus.SimTime(req.Ticks))
+	writeJSON(w, http.StatusOK, map[string]any{"now": s.tb.Now()})
+}
+
+func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Method string `json:"method"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	if s.updated {
+		s.mu.Unlock()
+		writeErr(w, http.StatusConflict, errors.New("flow already migrated; restart the daemon"))
+		return
+	}
+	s.updated = true
+	s.mu.Unlock()
+
+	if err := s.executeUpdate(strings.ToLower(req.Method)); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	// Let the transition complete, then report ground truth.
+	s.tb.AdvanceBy(chronus.SimTime(2 * (s.in.Init.Delay(s.in.G) + s.in.Fin.Delay(s.in.G))))
+	var drops float64
+	s.tb.Do(func() {
+		for _, id := range s.in.G.Nodes() {
+			drops += s.tb.Net.Switch(id).Dropped()
+		}
+	})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"method":          req.Method,
+		"now":             s.tb.Now(),
+		"congested_links": s.tb.Net.CongestedLinks(),
+		"overload_ticks":  s.tb.Net.TotalOverloadTicks(),
+		"drops":           drops,
+	})
+}
+
+func (s *server) executeUpdate(method string) error {
+	switch method {
+	case "chronus", "chronus-fast", "":
+		mode := chronus.ModeExact
+		if method == "chronus-fast" {
+			mode = chronus.ModeFast
+		}
+		plan, err := chronus.Solve(s.in, chronus.SolveOptions{Mode: mode})
+		if err != nil {
+			return err
+		}
+		start := chronus.Tick(s.tb.Now()) + 50 // headroom past the control latency
+		sched := chronus.NewSchedule(start)
+		for v, tv := range plan.Schedule.Times {
+			sched.Set(v, start+tv)
+		}
+		return s.ctl.ExecuteTimed(s.in, sched, s.flow)
+	case "tp":
+		return s.ctl.ExecuteTwoPhase(s.in, s.flow, 1)
+	case "or":
+		rounds, err := chronus.OrderReplacementRounds(s.in)
+		if err != nil {
+			return err
+		}
+		sched := chronus.NewSchedule(0)
+		for i, round := range rounds {
+			for _, v := range round {
+				sched.Set(v, chronus.Tick(i))
+			}
+		}
+		return s.ctl.ExecuteBarrierPaced(s.in, sched, s.flow, 1)
+	default:
+		return fmt.Errorf("unknown method %q (want chronus, chronus-fast, tp, or)", method)
+	}
+}

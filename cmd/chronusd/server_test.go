@@ -1,0 +1,130 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func newTestServer(t *testing.T) (*server, *httptest.Server) {
+	t.Helper()
+	srv, err := newServer(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	return resp, out
+}
+
+func TestDaemonEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	var status map[string]any
+	getJSON(t, ts.URL+"/status", &status)
+	if status["switches"].(float64) != 10 || status["agents"].(float64) != 10 {
+		t.Fatalf("status = %v", status)
+	}
+
+	var topoResp map[string]any
+	getJSON(t, ts.URL+"/topology", &topoResp)
+	if !strings.HasPrefix(topoResp["initial"].(string), "R1->R2") {
+		t.Fatalf("topology = %v", topoResp["initial"])
+	}
+
+	var rules []map[string]any
+	getJSON(t, ts.URL+"/switches/R1/rules", &rules)
+	if len(rules) != 1 {
+		t.Fatalf("R1 rules = %v", rules)
+	}
+
+	resp, _ := postJSON(t, ts.URL+"/advance", `{"ticks": 100}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("advance: %s", resp.Status)
+	}
+
+	var samples []map[string]any
+	getJSON(t, ts.URL+"/bandwidth?from=R1&to=R2&interval=50&samples=3", &samples)
+	if len(samples) != 3 {
+		t.Fatalf("samples = %v", samples)
+	}
+
+	resp, result := postJSON(t, ts.URL+"/update", `{"method": "chronus"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("update: %s (%v)", resp.Status, result)
+	}
+	if result["congested_links"].(float64) != 0 || result["drops"].(float64) != 0 {
+		t.Fatalf("chronus update violated: %v", result)
+	}
+
+	// Second update is refused.
+	resp, _ = postJSON(t, ts.URL+"/update", `{"method": "tp"}`)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("second update: %s", resp.Status)
+	}
+
+	// Unknown switch is a 404.
+	r, err := http.Get(ts.URL + "/switches/nope/rules")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown switch: %s", r.Status)
+	}
+}
+
+func TestDaemonORUpdateShowsTransients(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, result := postJSON(t, ts.URL+"/update", `{"method": "or"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("or update: %s (%v)", resp.Status, result)
+	}
+	if result["overload_ticks"].(float64) == 0 {
+		t.Fatalf("or update showed no transient overload: %v", result)
+	}
+}
+
+func TestDaemonRejectsBadRequests(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, _ := postJSON(t, ts.URL+"/update", `{"method": "nope"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad method: %s", resp.Status)
+	}
+	resp, _ = postJSON(t, ts.URL+"/advance", `{"ticks": -5}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad ticks: %s", resp.Status)
+	}
+}

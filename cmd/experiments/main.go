@@ -1,0 +1,181 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section (Table II, Figures 6-11) plus the repository's
+// ablations, printing aligned text tables and optionally CSV files.
+//
+// Usage:
+//
+//	experiments                 # run everything at full scale
+//	experiments -quick          # reduced scale (seconds instead of minutes)
+//	experiments -run fig7,fig8  # subset
+//	experiments -csv out/       # also write CSV files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/chronus-sdn/chronus/internal/expt"
+	"github.com/chronus-sdn/chronus/internal/metrics"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "reduced scale for a fast pass")
+	seed := fs.Int64("seed", 1, "experiment seed")
+	runList := fs.String("run", "all", "comma-separated subset: tab2,fig6,fig7,fig8,fig9,fig10,fig11,ablations")
+	csvDir := fs.String("csv", "", "directory to also write CSV tables into")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := expt.Default(*seed)
+	if *quick {
+		cfg = expt.Quick(*seed)
+	}
+	want := map[string]bool{}
+	for _, k := range strings.Split(*runList, ",") {
+		want[strings.TrimSpace(k)] = true
+	}
+	all := want["all"]
+	selected := func(k string) bool { return all || want[k] }
+
+	emit := func(name, title string, t *metrics.Table) error {
+		fmt.Fprintf(w, "\n### %s — %s\n\n%s", name, title, t)
+		if *csvDir == "" {
+			return nil
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+		return os.WriteFile(filepath.Join(*csvDir, name+".csv"), []byte(t.CSV()), 0o644)
+	}
+	timed := func(name string, f func() error) error {
+		start := time.Now()
+		if err := f(); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Fprintf(w, "\n[%s took %v]\n", name, time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+
+	if selected("tab2") {
+		if err := timed("tab2", func() error {
+			res, err := expt.Table2FlowTables(cfg)
+			if err != nil {
+				return err
+			}
+			if err := emit("table2_source", "Table II: flow table at the source switch", res.Source); err != nil {
+				return err
+			}
+			return emit("table2_dest", "Table II: flow table at the destination switch", res.Dest)
+		}); err != nil {
+			return err
+		}
+	}
+	if selected("fig6") {
+		if err := timed("fig6", func() error {
+			res, err := expt.Fig6Bandwidth(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "\nmonitored link: %s -> %s\n", res.Link[0], res.Link[1])
+			if err := emit("fig6_series", "Fig. 6: bandwidth consumption over time", res.Table()); err != nil {
+				return err
+			}
+			return emit("fig6_summary", "Fig. 6 summary: peaks and ground truth", res.Summary())
+		}); err != nil {
+			return err
+		}
+	}
+	if selected("fig7") || selected("fig8") {
+		if err := timed("fig7+fig8", func() error {
+			f7, f8, err := expt.EvaluateQuality(cfg)
+			if err != nil {
+				return err
+			}
+			if selected("fig7") {
+				if err := emit("fig7", "Fig. 7: % congestion-free update instances", f7.Table()); err != nil {
+					return err
+				}
+			}
+			if selected("fig8") {
+				return emit("fig8", "Fig. 8: congested time-extended links per instance", f8.Table())
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if selected("fig9") {
+		if err := timed("fig9", func() error {
+			res, err := expt.Fig9RuleOverhead(cfg)
+			if err != nil {
+				return err
+			}
+			return emit("fig9", "Fig. 9: forwarding rules, Chronus box plot vs TP mean", res.Table())
+		}); err != nil {
+			return err
+		}
+	}
+	if selected("fig10") {
+		if err := timed("fig10", func() error {
+			res, err := expt.Fig10RunningTime(cfg)
+			if err != nil {
+				return err
+			}
+			return emit("fig10", "Fig. 10: scheduling time at scale (budget flags = paper's 'exceeds limit')", res.Table())
+		}); err != nil {
+			return err
+		}
+	}
+	if selected("fig11") {
+		if err := timed("fig11", func() error {
+			res, err := expt.Fig11UpdateTimeCDF(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "\nn=%d: solved %d, excluded %d (infeasible), OPT budget hits %d\n",
+				res.N, res.Solved, res.Excluded, res.OPTBudgetHits)
+			return emit("fig11", "Fig. 11: CDF of update time (time units)", res.Table())
+		}); err != nil {
+			return err
+		}
+	}
+	if selected("ablations") {
+		if err := timed("ablations", func() error {
+			cs, err := expt.AblationClockSkew(cfg)
+			if err != nil {
+				return err
+			}
+			if err := emit("ablation_clock", "Ablation: clock sync error vs transient violations", expt.ClockSkewTable(cs)); err != nil {
+				return err
+			}
+			am, err := expt.AblationAcceptanceMode(cfg)
+			if err != nil {
+				return err
+			}
+			if err := emit("ablation_mode", "Ablation: exact vs fast greedy acceptance", expt.ModeTable(am)); err != nil {
+				return err
+			}
+			em, err := expt.AblationExecutionMode(cfg)
+			if err != nil {
+				return err
+			}
+			return emit("ablation_exec", "Ablation: timed vs barrier-paced execution", expt.ExecModeTable(em))
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSubset(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "-run", "tab2,fig9", "-csv", dir}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table II", "Fig. 9", "savings_pct"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "Fig. 6") {
+		t.Fatal("unselected experiment ran")
+	}
+	for _, f := range []string{"table2_source.csv", "fig9.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Fatalf("missing CSV %s: %v", f, err)
+		}
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-definitely-not-a-flag"}, &buf); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

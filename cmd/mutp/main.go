@@ -1,0 +1,207 @@
+// Command mutp solves Minimum Update Time Problem instances from the
+// command line: read an instance (JSON file, a built-in fixture, or a
+// random instance), run the selected scheduler, print the timed schedule
+// and its validation report.
+//
+// Usage:
+//
+//	mutp -instance fig1 -scheme chronus
+//	mutp -instance emulation -scheme opt
+//	mutp -instance random -n 30 -seed 7 -scheme all
+//	mutp -instance path/to/instance.json -scheme chronus -json
+//
+// The JSON instance format is:
+//
+//	{
+//	  "graph": {"nodes": ["v1", ...],
+//	            "links": [{"from": "v1", "to": "v2", "capacity": 1, "delay": 1}, ...]},
+//	  "demand": 1,
+//	  "initial": ["v1", "v2", ...],
+//	  "final":   ["v1", "v5", ...]
+//	}
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+
+	chronus "github.com/chronus-sdn/chronus"
+)
+
+type instanceFile struct {
+	Graph   *chronus.Network `json:"graph"`
+	Demand  chronus.Capacity `json:"demand"`
+	Initial []string         `json:"initial"`
+	Final   []string         `json:"final"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mutp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mutp", flag.ContinueOnError)
+	instance := fs.String("instance", "fig1", "instance: fig1, emulation, random, or a JSON file path")
+	scheme := fs.String("scheme", "chronus", "scheduler: chronus, chronus-fast, opt, or, tree, all")
+	n := fs.Int("n", 20, "switch count for -instance random")
+	seed := fs.Int64("seed", 1, "seed for -instance random")
+	jsonOut := fs.Bool("json", false, "emit the schedule as JSON")
+	dot := fs.Bool("dot", false, "emit the topology as Graphviz DOT (initial path blue, final dashed green) and exit")
+	bestEffort := fs.Bool("best-effort", false, "return a schedule even when no violation-free one exists")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	in, err := loadInstance(*instance, *n, *seed)
+	if err != nil {
+		return err
+	}
+	if err := in.Validate(); err != nil {
+		return err
+	}
+	if *dot {
+		fmt.Fprint(out, in.G.DOT(in.Init, in.Fin))
+		return nil
+	}
+	fmt.Fprintf(out, "instance: %d switches, %d links, demand %d\n", in.G.NumNodes(), in.G.NumLinks(), in.Demand)
+	fmt.Fprintf(out, "  initial: %s\n  final:   %s\n", in.Init.Format(in.G), in.Fin.Format(in.G))
+
+	schemes := []string{*scheme}
+	if *scheme == "all" {
+		schemes = []string{"chronus", "chronus-fast", "opt", "or", "tree"}
+	}
+	for _, sch := range schemes {
+		if err := solveOne(out, in, sch, *bestEffort, *jsonOut); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func loadInstance(name string, n int, seed int64) (*chronus.Instance, error) {
+	switch name {
+	case "fig1":
+		return chronus.Fig1Example(), nil
+	case "emulation":
+		return chronus.EmulationTopo(), nil
+	case "random":
+		rng := rand.New(rand.NewSource(seed))
+		return chronus.RandomInstance(rng, chronus.DefaultRandomInstanceParams(n)), nil
+	}
+	data, err := os.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	var file instanceFile
+	file.Graph = chronus.NewNetwork()
+	if err := json.Unmarshal(data, &file); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", name, err)
+	}
+	init, err := file.Graph.PathByNames(file.Initial...)
+	if err != nil {
+		return nil, fmt.Errorf("initial path: %w", err)
+	}
+	fin, err := file.Graph.PathByNames(file.Final...)
+	if err != nil {
+		return nil, fmt.Errorf("final path: %w", err)
+	}
+	return &chronus.Instance{G: file.Graph, Demand: file.Demand, Init: init, Fin: fin}, nil
+}
+
+func solveOne(out io.Writer, in *chronus.Instance, scheme string, bestEffort, jsonOut bool) error {
+	fmt.Fprintf(out, "\n== %s ==\n", scheme)
+	switch scheme {
+	case "chronus", "chronus-fast":
+		mode := chronus.ModeExact
+		if scheme == "chronus-fast" {
+			mode = chronus.ModeFast
+		}
+		plan, err := chronus.Solve(in, chronus.SolveOptions{Mode: mode, BestEffort: bestEffort})
+		if errors.Is(err, chronus.ErrInfeasible) {
+			fmt.Fprintln(out, "infeasible: no congestion- and loop-free schedule")
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		printSchedule(out, in, plan.Schedule, jsonOut)
+		if plan.BestEffort {
+			fmt.Fprintln(out, "best-effort plan (scheduler got stuck; see violations)")
+		}
+		report := plan.Report
+		if report == nil {
+			report = chronus.Validate(in, plan.Schedule)
+		}
+		fmt.Fprintf(out, "validation: %s\n", report.Summary())
+	case "opt":
+		plan, err := chronus.SolveOptimal(in, chronus.OptimalOptions{})
+		if errors.Is(err, chronus.ErrInfeasible) {
+			fmt.Fprintln(out, "infeasible: no congestion- and loop-free schedule")
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		printSchedule(out, in, plan.Schedule, jsonOut)
+		fmt.Fprintf(out, "exact: %v (searched %d nodes)\n", plan.Exact, plan.Nodes)
+		fmt.Fprintf(out, "validation: %s\n", chronus.Validate(in, plan.Schedule).Summary())
+	case "or":
+		rounds, err := chronus.OrderReplacementRounds(in)
+		if err != nil {
+			return err
+		}
+		for i, round := range rounds {
+			names := make([]string, len(round))
+			for j, v := range round {
+				names[j] = in.G.Name(v)
+			}
+			fmt.Fprintf(out, "round %d: %s\n", i+1, strings.Join(names, ", "))
+		}
+		fmt.Fprintln(out, "(order replacement ignores capacities and delays; replay it on the validator to see transients)")
+	case "tree":
+		ok, err := chronus.Feasible(in)
+		if err != nil {
+			fmt.Fprintf(out, "tree check unavailable: %v\n", err)
+			return nil
+		}
+		fmt.Fprintf(out, "feasible congestion- and loop-free sequence exists: %v\n", ok)
+	default:
+		return fmt.Errorf("unknown scheme %q", scheme)
+	}
+	return nil
+}
+
+func printSchedule(out io.Writer, in *chronus.Instance, s *chronus.Schedule, jsonOut bool) {
+	if jsonOut {
+		type entry struct {
+			Switch string       `json:"switch"`
+			Tick   chronus.Tick `json:"tick"`
+		}
+		var entries []entry
+		for v, t := range s.Times {
+			entries = append(entries, entry{Switch: in.G.Name(v), Tick: t})
+		}
+		sort.Slice(entries, func(i, j int) bool {
+			if entries[i].Tick != entries[j].Tick {
+				return entries[i].Tick < entries[j].Tick
+			}
+			return entries[i].Switch < entries[j].Switch
+		})
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(map[string]any{"start": s.Start, "makespan": s.Makespan(), "updates": entries})
+		return
+	}
+	fmt.Fprintf(out, "schedule: %s\n", s.Format(in))
+	fmt.Fprintf(out, "makespan: %d time units\n", s.Makespan())
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("run(%v): %v\n%s", args, err, buf.String())
+	}
+	return buf.String()
+}
+
+func TestCLIFig1AllSchemes(t *testing.T) {
+	out := runCLI(t, "-instance", "fig1", "-scheme", "all")
+	for _, want := range []string{
+		"t+0: v2; t+1: v3; t+2: v1,v4; t+3: v5",
+		"makespan: 3 time units",
+		"exact: true",
+		"round 1:",
+		"feasible congestion- and loop-free sequence exists: true",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIJSONOutput(t *testing.T) {
+	out := runCLI(t, "-instance", "fig1", "-scheme", "chronus", "-json")
+	start := strings.Index(out, "{")
+	if start < 0 {
+		t.Fatalf("no JSON in output:\n%s", out)
+	}
+	var parsed struct {
+		Makespan int64 `json:"makespan"`
+		Updates  []struct {
+			Switch string `json:"switch"`
+			Tick   int64  `json:"tick"`
+		} `json:"updates"`
+	}
+	dec := json.NewDecoder(strings.NewReader(out[start:]))
+	if err := dec.Decode(&parsed); err != nil {
+		t.Fatalf("parse JSON: %v", err)
+	}
+	if parsed.Makespan != 3 || len(parsed.Updates) != 5 {
+		t.Fatalf("parsed = %+v", parsed)
+	}
+	if parsed.Updates[0].Switch != "v2" || parsed.Updates[0].Tick != 0 {
+		t.Fatalf("first update = %+v", parsed.Updates[0])
+	}
+}
+
+func TestCLIRandomInstance(t *testing.T) {
+	out := runCLI(t, "-instance", "random", "-n", "12", "-seed", "3", "-scheme", "chronus-fast", "-best-effort")
+	if !strings.Contains(out, "instance: 12 switches") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestCLIInstanceFile(t *testing.T) {
+	// The catch-up instance as JSON: infeasible when the shared link is
+	// tight.
+	doc := `{
+	  "graph": {
+	    "nodes": ["s", "a", "m", "d"],
+	    "links": [
+	      {"from": "s", "to": "a", "capacity": 1, "delay": 1},
+	      {"from": "a", "to": "m", "capacity": 1, "delay": 1},
+	      {"from": "m", "to": "d", "capacity": 1, "delay": 1},
+	      {"from": "s", "to": "m", "capacity": 1, "delay": 1}
+	    ]
+	  },
+	  "demand": 1,
+	  "initial": ["s", "a", "m", "d"],
+	  "final": ["s", "m", "d"]
+	}`
+	path := filepath.Join(t.TempDir(), "inst.json")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runCLI(t, "-instance", path, "-scheme", "chronus")
+	if !strings.Contains(out, "infeasible") {
+		t.Fatalf("tight catch-up not reported infeasible:\n%s", out)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-instance", "fig1", "-scheme", "nope"}, &buf); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+	if err := run([]string{"-instance", "/does/not/exist.json"}, &buf); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestCLIDOTOutput(t *testing.T) {
+	out := runCLI(t, "-instance", "fig1", "-dot")
+	for _, want := range []string{"digraph", "\"v1\" -> \"v2\"", "dashed"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}

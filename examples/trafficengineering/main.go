@@ -1,0 +1,81 @@
+// Traffic engineering: reroute a flow onto a less-utilized path under
+// tight capacities (the paper's motivation (2): "to minimize the maximal
+// link load, an operator may decide to reroute parts of the traffic along
+// different links").
+//
+// A WAN-style topology carries an aggregate on a short path whose middle
+// link must be relieved. The replacement path is longer, shares the egress
+// link, and every link is provisioned with no headroom — so update timing
+// decides whether the reroute transiently overloads the shared egress.
+//
+//	go run ./examples/trafficengineering
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	chronus "github.com/chronus-sdn/chronus"
+)
+
+func main() {
+	g := chronus.NewNetwork()
+	ids := g.AddNodes("sea", "den", "chi", "dal", "atl", "nyc")
+	sea, den, chi, dal, atl, nyc := ids[0], ids[1], ids[2], ids[3], ids[4], ids[5]
+
+	// Current route: sea -> den -> chi -> nyc (den-chi is the hot link).
+	g.MustAddLink(sea, den, 10, 12)
+	g.MustAddLink(den, chi, 10, 14)
+	g.MustAddLink(chi, nyc, 10, 18)
+	// Relief route: sea -> dal -> atl -> chi -> nyc, sharing chi -> nyc.
+	g.MustAddLink(sea, dal, 10, 20)
+	g.MustAddLink(dal, atl, 10, 16)
+	g.MustAddLink(atl, chi, 10, 11)
+
+	in := &chronus.Instance{
+		G:      g,
+		Demand: 10, // the links have zero headroom
+		Init:   chronus.Path{sea, den, chi, nyc},
+		Fin:    chronus.Path{sea, dal, atl, chi, nyc},
+	}
+	if err := in.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Traffic engineering reroute (zero-headroom links)")
+	fmt.Printf("  old: %s (delay %d ms)\n", in.Init.Format(g), in.Init.Delay(g))
+	fmt.Printf("  new: %s (delay %d ms)\n\n", in.Fin.Format(g), in.Fin.Delay(g))
+
+	// Update set: sea flips its next hop, dal and atl need fresh rules.
+	fmt.Print("switches needing updates:")
+	for _, v := range in.UpdateSet() {
+		fmt.Printf(" %s", g.Name(v))
+	}
+	fmt.Println()
+
+	plan, err := chronus.Solve(in, chronus.SolveOptions{})
+	if errors.Is(err, chronus.ErrInfeasible) {
+		log.Fatal("no congestion-free reroute exists for this instance")
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("chronus schedule: %s\n", plan.Schedule.Format(in))
+	fmt.Printf("validation: %s\n\n", plan.Report.Summary())
+
+	// Show why the install order matters: flipping the ingress long before
+	// the relief path's rules exist blackholes the aggregate at dal.
+	bad := chronus.NewSchedule(0)
+	bad.Set(sea, 0)
+	bad.Set(dal, 60) // sea's traffic reaches dal at t=20, 40ms too early
+	bad.Set(atl, 60)
+	r := chronus.Validate(in, bad)
+	fmt.Printf("ingress-first straw man: %s\n", r.Summary())
+
+	// Rule accounting vs a two-phase reroute (say 8 customer prefixes at
+	// the ingress).
+	acc := chronus.CountRules(in, 8)
+	fmt.Printf("\nrule space at the transition peak: chronus %d vs two-phase %d (%.0f%% saved)\n",
+		acc.ChronusPeak, acc.TPPeak, acc.TPSavingsPercent())
+}

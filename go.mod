@@ -1,0 +1,3 @@
+module github.com/chronus-sdn/chronus
+
+go 1.22

@@ -1,0 +1,307 @@
+// Package baseline implements the two comparison schemes of the paper's
+// evaluation:
+//
+//   - OR, order replacement updates (Ludwig et al., PODC'15): partition the
+//     switches into a minimum number of rounds such that loop-freedom holds
+//     under arbitrary asynchrony within each round. OR is oblivious to link
+//     capacities and transmission delays, which is exactly why it exhibits
+//     transient congestion in the timed validator.
+//   - TP, two-phase commit updates (Reitblatt et al., SIGCOMM'12): install
+//     version-tagged copies of the new rules everywhere, then flip the
+//     ingress stamping rule. TP is consistent per packet but doubles the
+//     resident rule count during the transition.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/chronus-sdn/chronus/internal/dynflow"
+	"github.com/chronus-sdn/chronus/internal/graph"
+)
+
+// ErrNoOrder is returned when no loop-free round exists for the remaining
+// switches (cannot happen for well-formed two-path instances, but the
+// search is total).
+var ErrNoOrder = errors.New("baseline: no loop-free update round exists")
+
+// unionAcyclic reports whether the forwarding graph is acyclic when the
+// switches in done use their new rules, the switches in flight may use
+// either rule, and everybody else uses old rules. This is the
+// strong-loop-freedom safety condition for updating `flight` as one
+// asynchronous round: any mixed configuration picks at most one outgoing
+// edge per switch, all of which are present in the union graph.
+func unionAcyclic(in *dynflow.Instance, done, flight map[graph.NodeID]bool) bool {
+	adj := make(map[graph.NodeID][]graph.NodeID, in.G.NumNodes())
+	addEdge := func(v, w graph.NodeID) {
+		if w != graph.Invalid {
+			adj[v] = append(adj[v], w)
+		}
+	}
+	for _, v := range graph.UnionNodes(in.Init, in.Fin) {
+		if v == in.Dest() {
+			continue
+		}
+		oldN := in.OldNext(v)
+		newN := in.NewNext(v)
+		switch {
+		case done[v]:
+			addEdge(v, newN)
+			if newN == graph.Invalid {
+				addEdge(v, oldN)
+			}
+		case flight[v]:
+			addEdge(v, oldN)
+			addEdge(v, newN)
+		default:
+			addEdge(v, oldN)
+		}
+	}
+	// Cycle detection via three-color DFS.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[graph.NodeID]int, len(adj))
+	var visit func(v graph.NodeID) bool
+	visit = func(v graph.NodeID) bool {
+		color[v] = gray
+		for _, w := range adj[v] {
+			switch color[w] {
+			case gray:
+				return false
+			case white:
+				if !visit(w) {
+					return false
+				}
+			}
+		}
+		color[v] = black
+		return true
+	}
+	for v := range adj {
+		if color[v] == white && !visit(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// ORGreedy computes a loop-free round sequence greedily: each round updates
+// a maximal set of switches whose simultaneous asynchronous update keeps
+// every mixed configuration loop-free. It minimizes rounds heuristically;
+// use OROptimal for the exact minimum.
+func ORGreedy(in *dynflow.Instance) ([][]graph.NodeID, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	pending := in.UpdateSet()
+	sort.Slice(pending, func(i, j int) bool { return pending[i] < pending[j] })
+	done := make(map[graph.NodeID]bool)
+	var rounds [][]graph.NodeID
+	for len(pending) > 0 {
+		flight := make(map[graph.NodeID]bool)
+		var round []graph.NodeID
+		for _, v := range pending {
+			flight[v] = true
+			if unionAcyclic(in, done, flight) {
+				round = append(round, v)
+			} else {
+				delete(flight, v)
+			}
+		}
+		if len(round) == 0 {
+			return rounds, fmt.Errorf("%w: %d switches stuck", ErrNoOrder, len(pending))
+		}
+		for _, v := range round {
+			done[v] = true
+		}
+		rest := pending[:0]
+		for _, v := range pending {
+			if !done[v] {
+				rest = append(rest, v)
+			}
+		}
+		pending = rest
+		rounds = append(rounds, round)
+	}
+	return rounds, nil
+}
+
+// OROptions configures OROptimal.
+type OROptions struct {
+	// MaxNodes caps search nodes (0 = 200000). On exhaustion the greedy
+	// solution is returned with Exact=false.
+	MaxNodes int
+	// Timeout bounds the wall-clock search (0 = none); like node
+	// exhaustion it falls back to the greedy rounds with Exact=false.
+	Timeout time.Duration
+}
+
+// ORResult is the outcome of OROptimal.
+type ORResult struct {
+	Rounds [][]graph.NodeID
+	// Exact is true when Rounds is provably round-minimal.
+	Exact bool
+	Nodes int
+}
+
+// OROptimal minimizes the number of rounds by iterative deepening over the
+// round count with depth-first search over valid rounds (the paper obtains
+// this baseline with branch and bound; round minimization is NP-hard).
+func OROptimal(in *dynflow.Instance, opts OROptions) (*ORResult, error) {
+	greedy, err := ORGreedy(in)
+	if err != nil {
+		return nil, err
+	}
+	maxNodes := opts.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = 200000
+	}
+	updates := in.UpdateSet()
+	search := &orSearch{in: in, updates: updates, maxNodes: maxNodes}
+	if opts.Timeout > 0 {
+		search.deadline = time.Now().Add(opts.Timeout)
+	}
+	res := &ORResult{Rounds: greedy, Exact: false}
+	for k := 1; k < len(greedy); k++ {
+		rounds, exhausted := search.deepen(make(map[graph.NodeID]bool), k)
+		if exhausted {
+			res.Nodes = search.nodes
+			return res, nil
+		}
+		if rounds != nil {
+			res.Rounds = rounds
+			res.Exact = true
+			res.Nodes = search.nodes
+			return res, nil
+		}
+	}
+	res.Exact = true // greedy count proven minimal by the failed deepening
+	res.Nodes = search.nodes
+	return res, nil
+}
+
+type orSearch struct {
+	in       *dynflow.Instance
+	updates  []graph.NodeID
+	maxNodes int
+	nodes    int
+	deadline time.Time
+}
+
+func (o *orSearch) exhaustedBudget() bool {
+	if o.nodes > o.maxNodes {
+		return true
+	}
+	if !o.deadline.IsZero() && o.nodes%64 == 0 && time.Now().After(o.deadline) {
+		return true
+	}
+	return false
+}
+
+// deepen searches for a completion of done within k further rounds.
+func (o *orSearch) deepen(done map[graph.NodeID]bool, k int) ([][]graph.NodeID, bool) {
+	if len(done) == len(o.updates) {
+		return [][]graph.NodeID{}, false
+	}
+	if k == 0 {
+		return nil, false
+	}
+	o.nodes++
+	if o.exhaustedBudget() {
+		return nil, true
+	}
+	// Candidates individually addable this round given done.
+	var cands []graph.NodeID
+	for _, v := range o.updates {
+		if done[v] {
+			continue
+		}
+		if unionAcyclic(o.in, done, map[graph.NodeID]bool{v: true}) {
+			cands = append(cands, v)
+		}
+	}
+	if len(cands) == 0 {
+		return nil, false
+	}
+	// Enumerate valid subsets of the candidates, largest-first: include-
+	// first DFS with an acyclicity check per inclusion.
+	flight := make(map[graph.NodeID]bool)
+	var round []graph.NodeID
+	var rec func(i int) ([][]graph.NodeID, bool)
+	rec = func(i int) ([][]graph.NodeID, bool) {
+		if o.nodes++; o.exhaustedBudget() {
+			return nil, true
+		}
+		if i == len(cands) {
+			if len(round) == 0 {
+				return nil, false
+			}
+			for _, v := range round {
+				done[v] = true
+			}
+			rest, exhausted := o.deepen(done, k-1)
+			for _, v := range round {
+				delete(done, v)
+			}
+			if rest != nil {
+				return append([][]graph.NodeID{append([]graph.NodeID(nil), round...)}, rest...), false
+			}
+			return nil, exhausted
+		}
+		v := cands[i]
+		flight[v] = true
+		if unionAcyclic(o.in, done, flight) {
+			round = append(round, v)
+			if rounds, exhausted := rec(i + 1); rounds != nil || exhausted {
+				return rounds, exhausted
+			}
+			round = round[:len(round)-1]
+		}
+		delete(flight, v)
+		return rec(i + 1)
+	}
+	return rec(0)
+}
+
+// ORScheduleOptions maps rounds onto ticks for evaluation in the timed
+// validator.
+type ORScheduleOptions struct {
+	// Start is the tick at which round 0 begins.
+	Start dynflow.Tick
+	// RoundWidth is the tick span of one round: the controller sends all
+	// FlowMods for the round and waits for barriers; switches apply theirs
+	// at an unpredictable moment within the window (data-plane asynchrony).
+	RoundWidth dynflow.Tick
+	// Rng drives the per-switch jitter inside each round window; nil means
+	// deterministic earliest-tick application.
+	Rng *rand.Rand
+}
+
+// ORSchedule converts a round sequence into a concrete timed schedule: the
+// switches of round r flip at a random tick within the round's window. This
+// is how the evaluation replays OR, which itself is oblivious to time, on
+// the dynamic-flow validator.
+func ORSchedule(rounds [][]graph.NodeID, opts ORScheduleOptions) *dynflow.Schedule {
+	width := opts.RoundWidth
+	if width <= 0 {
+		width = 1
+	}
+	s := dynflow.NewSchedule(opts.Start)
+	for r, round := range rounds {
+		base := opts.Start + dynflow.Tick(r)*width
+		for _, v := range round {
+			t := base
+			if opts.Rng != nil {
+				t += dynflow.Tick(opts.Rng.Int63n(int64(width)))
+			}
+			s.Set(v, t)
+		}
+	}
+	return s
+}

@@ -1,0 +1,52 @@
+package controller
+
+import (
+	"fmt"
+
+	"github.com/chronus-sdn/chronus/internal/graph"
+	"github.com/chronus-sdn/chronus/internal/ofp"
+)
+
+// tcpSession sends messages over a real stream connection; a background
+// reader feeds replies into the controller. Ordering and asynchrony are
+// the transport's own.
+type tcpSession struct {
+	conn *ofp.Conn
+}
+
+func (s *tcpSession) Send(m ofp.Msg) error { return s.conn.Send(m) }
+
+// AttachTCP registers a switch reachable over conn and starts the reply
+// reader, which runs until the connection closes. It performs the OpenFlow
+// hello exchange and a features check (the switch must support timed
+// updates), returning the switch's announced name.
+func (c *Controller) AttachTCP(id graph.NodeID, conn *ofp.Conn) (string, error) {
+	if err := conn.Send(&ofp.Hello{XID: 0}); err != nil {
+		return "", err
+	}
+	if _, err := conn.Recv(); err != nil { // peer hello
+		return "", err
+	}
+	if err := conn.Send(&ofp.FeaturesRequest{XID: 1}); err != nil {
+		return "", err
+	}
+	m, err := conn.Recv()
+	if err != nil {
+		return "", err
+	}
+	feats, ok := m.(*ofp.FeaturesReply)
+	if !ok {
+		return "", fmt.Errorf("controller: unexpected handshake reply %v", m.Type())
+	}
+	c.AttachSession(id, &tcpSession{conn: conn})
+	go func() {
+		for {
+			m, err := conn.Recv()
+			if err != nil {
+				return
+			}
+			c.RecordReply(m)
+		}
+	}()
+	return feats.Name, nil
+}

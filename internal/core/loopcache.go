@@ -1,0 +1,131 @@
+package core
+
+import (
+	"github.com/chronus-sdn/chronus/internal/dynflow"
+	"github.com/chronus-sdn/chronus/internal/graph"
+)
+
+// loopChecker answers Algorithm 4 queries against a fixed configuration
+// snapshot in amortized O(1) per switch: between two accepted updates the
+// configuration does not change, so walk destinations can be memoized with
+// path compression. Greedy rebuilds the checker after every acceptance.
+type loopChecker struct {
+	in  *dynflow.Instance
+	s   *dynflow.Schedule
+	t   dynflow.Tick
+	cur graph.Path
+	pos []int32 // node -> active-path index, -1 off-path
+	// resolve caches, for off-path switches, where the snapshot
+	// configuration eventually leads.
+	resolve map[graph.NodeID]resolveResult
+}
+
+func (lc *loopChecker) posOf(v graph.NodeID) (int, bool) {
+	if v < 0 || int(v) >= len(lc.pos) || lc.pos[v] < 0 {
+		return -1, false
+	}
+	return int(lc.pos[v]), true
+}
+
+type resolveKind uint8
+
+const (
+	resolveDest resolveKind = iota + 1 // reaches the destination off-path
+	resolvePath                        // joins the active path
+	resolveDead                        // cycle among off-path switches or blackhole
+)
+
+type resolveResult struct {
+	kind resolveKind
+	pos  int // active-path index for resolvePath
+}
+
+func newLoopChecker(in *dynflow.Instance, s *dynflow.Schedule, t dynflow.Tick) *loopChecker {
+	cur := activePath(in, s, t)
+	pos := make([]int32, in.G.NumNodes())
+	for i := range pos {
+		pos[i] = -1
+	}
+	for i, u := range cur {
+		if int(u) < len(pos) {
+			pos[u] = int32(i)
+		}
+	}
+	return &loopChecker{
+		in:      in,
+		s:       s,
+		t:       t,
+		cur:     cur,
+		pos:     pos,
+		resolve: make(map[graph.NodeID]resolveResult),
+	}
+}
+
+// ok reports whether updating v at the snapshot tick is loop-free
+// (Algorithm 4): the redirected route from v's new next hop must reach the
+// destination or rejoin the active path strictly downstream of v, without
+// cycling or blackholing.
+func (lc *loopChecker) ok(v graph.NodeID) bool {
+	w := lc.in.NewNext(v)
+	if w == graph.Invalid {
+		return true
+	}
+	iv, onPath := lc.posOf(v)
+	if p, ok := lc.posOf(w); ok {
+		if !onPath {
+			return true // v carries no fresh traffic; w's position is moot
+		}
+		return p > iv
+	}
+	r := lc.walk(w)
+	switch r.kind {
+	case resolveDead:
+		return false
+	case resolveDest:
+		return true
+	default: // resolvePath
+		if !onPath {
+			return true
+		}
+		return r.pos > iv
+	}
+}
+
+// walk resolves where the snapshot configuration leads from off-path node
+// x, memoizing every node on the way.
+func (lc *loopChecker) walk(x graph.NodeID) resolveResult {
+	var trail []graph.NodeID
+	visiting := make(map[graph.NodeID]bool)
+	cur := x
+	var result resolveResult
+	for {
+		if r, ok := lc.resolve[cur]; ok {
+			result = r
+			break
+		}
+		if p, ok := lc.posOf(cur); ok {
+			result = resolveResult{kind: resolvePath, pos: p}
+			break
+		}
+		if cur == lc.in.Dest() {
+			result = resolveResult{kind: resolveDest}
+			break
+		}
+		if visiting[cur] {
+			result = resolveResult{kind: resolveDead}
+			break
+		}
+		visiting[cur] = true
+		trail = append(trail, cur)
+		next := snapshotNext(lc.in, lc.s, cur, lc.t)
+		if next == graph.Invalid {
+			result = resolveResult{kind: resolveDead}
+			break
+		}
+		cur = next
+	}
+	for _, u := range trail {
+		lc.resolve[u] = result
+	}
+	return result
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/chronus-sdn/chronus/internal/dynflow"
+	"github.com/chronus-sdn/chronus/internal/graph"
+	"github.com/chronus-sdn/chronus/internal/topo"
+)
+
+// TestGreedyExactAlwaysClean: whenever exact-mode Greedy returns a schedule
+// on a random instance, the ground-truth validator accepts it (Theorem 3
+// made constructive).
+func TestGreedyExactAlwaysClean(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := 4 + int(nRaw%16)
+		rng := rand.New(rand.NewSource(seed))
+		in := topo.RandomInstance(rng, topo.DefaultRandomParams(n))
+		res, err := Greedy(in, Options{Mode: ModeExact})
+		if err != nil {
+			return errors.Is(err, ErrInfeasible)
+		}
+		if !res.Schedule.Complete(in) {
+			return false
+		}
+		return dynflow.Validate(in, res.Schedule).OK()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGreedyFastAlwaysClean: the fast mode never invokes the validator, yet
+// its closed-form in-flight accounting must produce schedules the validator
+// accepts. This is the strongest guarantee of the fastState engine.
+func TestGreedyFastAlwaysClean(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := 4 + int(nRaw%16)
+		rng := rand.New(rand.NewSource(seed))
+		in := topo.RandomInstance(rng, topo.DefaultRandomParams(n))
+		res, err := Greedy(in, Options{Mode: ModeFast})
+		if err != nil {
+			return errors.Is(err, ErrInfeasible)
+		}
+		if res.Validations != 0 {
+			return false
+		}
+		if !res.Schedule.Complete(in) {
+			return false
+		}
+		return dynflow.Validate(in, res.Schedule).OK()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGreedyDeterministic: identical instances yield identical schedules.
+func TestGreedyDeterministic(t *testing.T) {
+	for _, mode := range []Mode{ModeExact, ModeFast} {
+		a := topo.RandomInstance(rand.New(rand.NewSource(11)), topo.DefaultRandomParams(12))
+		b := topo.RandomInstance(rand.New(rand.NewSource(11)), topo.DefaultRandomParams(12))
+		ra, errA := Greedy(a, Options{Mode: mode})
+		rb, errB := Greedy(b, Options{Mode: mode})
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("mode %v: nondeterministic feasibility", mode)
+		}
+		if errA != nil {
+			continue
+		}
+		for v, ta := range ra.Schedule.Times {
+			if tb, ok := rb.Schedule.Times[v]; !ok || tb != ta {
+				t.Fatalf("mode %v: nondeterministic time for %s: %d vs %d", mode, a.G.Name(v), ta, tb)
+			}
+		}
+	}
+}
+
+// TestGreedyFastNeverSlowerThanDouble: a loose quality bound — on instances
+// both modes solve, the fast mode's makespan stays within the exact mode's
+// makespan plus the instance's drain time (its deferrals wait out at most
+// one drain per dependency layer; empirically the average gap is ~1 tick).
+func TestGreedyFastQualityGap(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	solvedBoth := 0
+	for i := 0; i < 200; i++ {
+		n := 4 + rng.Intn(12)
+		in := topo.RandomInstance(rng, topo.DefaultRandomParams(n))
+		ex, errE := Greedy(in, Options{Mode: ModeExact})
+		fa, errF := Greedy(in, Options{Mode: ModeFast})
+		if errE != nil || errF != nil {
+			continue
+		}
+		solvedBoth++
+		drain := dynflow.Tick(in.Init.Delay(in.G) + in.Fin.Delay(in.G))
+		if fa.Schedule.Makespan() > ex.Schedule.Makespan()+drain {
+			t.Fatalf("instance %d: fast makespan %d far exceeds exact %d (drain %d)",
+				i, fa.Schedule.Makespan(), ex.Schedule.Makespan(), drain)
+		}
+	}
+	if solvedBoth < 50 {
+		t.Fatalf("only %d instances solved by both modes; generator drifted", solvedBoth)
+	}
+}
+
+// TestTreeGreedyAgreement: TreeFeasible and exact Greedy are different
+// heuristic decision procedures (Algorithm 1 is one-switch-at-a-time and
+// structural; Greedy is timed and can use simultaneity). They must agree on
+// the large majority of uniform-delay instances.
+func TestTreeGreedyAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	agree, total := 0, 0
+	for i := 0; i < 300; i++ {
+		n := 4 + rng.Intn(12)
+		p := topo.DefaultRandomParams(n)
+		p.MaxDelay = 1
+		in := topo.RandomInstance(rng, p)
+		_, gErr := Greedy(in, Options{Mode: ModeExact})
+		tOK, _, tErr := TreeFeasible(in)
+		if tErr != nil {
+			t.Fatalf("TreeFeasible error on uniform instance: %v", tErr)
+		}
+		total++
+		if (gErr == nil) == tOK {
+			agree++
+		}
+	}
+	if ratio := float64(agree) / float64(total); ratio < 0.80 {
+		t.Fatalf("tree/greedy agreement %.2f below 0.80 (%d/%d)", ratio, agree, total)
+	}
+}
+
+// TestGreedySourceOnlyUpdate: when only the source's rule changes and the
+// new route is node-disjoint from the old one, the schedule is a single
+// immediate flip (disjoint links share no capacity, so no timing needed).
+func TestGreedySourceOnlyUpdate(t *testing.T) {
+	g, ids := topo.Line(4, 1, 1)
+	b1 := g.AddNode("b1")
+	b2 := g.AddNode("b2")
+	g.MustAddLink(ids[0], b1, 1, 1)
+	g.MustAddLink(b1, b2, 1, 1)
+	g.MustAddLink(b2, ids[3], 1, 1)
+	in := &dynflow.Instance{
+		G:      g,
+		Demand: 1,
+		Init:   graph.Path{ids[0], ids[1], ids[2], ids[3]},
+		Fin:    graph.Path{ids[0], b1, b2, ids[3]},
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []Mode{ModeExact, ModeFast} {
+		res := mustGreedy(t, in, mode)
+		if res.Schedule.Makespan() != 0 {
+			t.Fatalf("mode %v: makespan %d, want 0 (schedule %s)", mode, res.Schedule.Makespan(), res.Schedule.Format(in))
+		}
+		if r := dynflow.Validate(in, res.Schedule); !r.OK() {
+			t.Fatalf("mode %v: %s", mode, r.Summary())
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/chronus-sdn/chronus/internal/dynflow"
+	"github.com/chronus-sdn/chronus/internal/graph"
+)
+
+// SequentialDrain is the naive timed baseline: install the final-only
+// switches first (they carry no traffic yet), then flip the remaining
+// switches one at a time in reverse final-path order, spacing consecutive
+// flips by a full end-to-end drain so that no two transients ever coexist.
+//
+// It needs no dependency analysis and no per-flip checks — only a clock —
+// which makes it the simplest schedule an operator could run on a timed
+// SDN. Its makespan is Θ(updates × drain), which is exactly what Chronus's
+// per-tick parallelism collapses; the acceptance-mode ablation quantifies
+// the gap. The result is validated before being returned: like any fixed
+// strategy it cannot be safe on infeasible instances (ErrInfeasible).
+func SequentialDrain(in *dynflow.Instance, start dynflow.Tick) (*dynflow.Schedule, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	s := dynflow.NewSchedule(start)
+	drain := dynflow.Tick(in.Init.Delay(in.G)+in.Fin.Delay(in.G)) + 1
+
+	// Phase 1: fresh installs on final-only switches, reverse order, all at
+	// the start tick (no traffic can reach them yet).
+	var flips []graph.NodeID
+	for i := len(in.Fin) - 2; i >= 0; i-- {
+		v := in.Fin[i]
+		if !in.NeedsUpdate(v) {
+			continue
+		}
+		if in.OldNext(v) == graph.Invalid {
+			s.Set(v, start)
+		} else {
+			flips = append(flips, v)
+		}
+	}
+	// Phase 2: one flip per drain interval, reverse final-path order.
+	t := start + 1
+	for _, v := range flips {
+		s.Set(v, t)
+		t += drain
+	}
+	if r := dynflow.Validate(in, s); !r.OK() {
+		return nil, fmt.Errorf("%w: drain-paced sequential update violates (%s)", ErrInfeasible, r.Summary())
+	}
+	return s, nil
+}

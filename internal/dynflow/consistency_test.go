@@ -1,0 +1,149 @@
+package dynflow
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/chronus-sdn/chronus/internal/graph"
+)
+
+// randomScheduleFor assigns random ticks in [0, span] to a random subset of
+// the update set.
+func randomScheduleFor(rng *rand.Rand, in *Instance, span int64) *Schedule {
+	s := NewSchedule(0)
+	for _, v := range in.UpdateSet() {
+		if rng.Intn(4) > 0 {
+			s.Set(v, Tick(rng.Int63n(span+1)))
+		}
+	}
+	return s
+}
+
+// randomReversalInstance builds a fig1-style instance with random size and
+// delays: line initial path, reversed final path.
+func randomReversalInstance(rng *rand.Rand) *Instance {
+	n := 4 + rng.Intn(8)
+	g := graph.New()
+	ids := make([]graph.NodeID, n)
+	for i := range ids {
+		ids[i] = g.AddNode(string(rune('a' + i)))
+	}
+	d := func() graph.Delay { return graph.Delay(1 + rng.Intn(3)) }
+	for i := 0; i+1 < n; i++ {
+		g.MustAddLink(ids[i], ids[i+1], 1, d())
+	}
+	g.MustAddLink(ids[0], ids[n-2], 1, d())
+	for i := n - 2; i >= 2; i-- {
+		g.MustAddLink(ids[i], ids[i-1], 1, d())
+	}
+	g.MustAddLink(ids[1], ids[n-1], 1, d())
+	init := make(graph.Path, n)
+	copy(init, ids)
+	fin := graph.Path{ids[0]}
+	for i := n - 2; i >= 1; i-- {
+		fin = append(fin, ids[i])
+	}
+	fin = append(fin, ids[n-1])
+	return &Instance{G: g, Demand: 1, Init: init, Fin: fin}
+}
+
+// TestValidateMatchesTraceEmission: the optimized validator's loop and
+// blackhole events agree with the reference per-emission tracer on random
+// schedules (the validator runs a different engine internally).
+func TestValidateMatchesTraceEmission(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randomReversalInstance(rng)
+		if err := in.Validate(); err != nil {
+			return false
+		}
+		s := randomScheduleFor(rng, in, 12)
+		r := Validate(in, s)
+
+		// Recompute events with the reference tracer over the same window.
+		var loops, blackholes int
+		for e := r.WindowStart; e <= r.WindowEnd; e++ {
+			tr := TraceEmission(in, s, e)
+			switch tr.Status {
+			case Looped:
+				loops++
+			case Blackholed:
+				blackholes++
+			}
+		}
+		return loops == len(r.Loops) && blackholes == len(r.Blackholes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestValidateCongestionMatchesManualLoads: recomputing loads by hand from
+// TraceEmission hops reproduces exactly the congestion events Validate
+// reports.
+func TestValidateCongestionMatchesManualLoads(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randomReversalInstance(rng)
+		if err := in.Validate(); err != nil {
+			return false
+		}
+		s := randomScheduleFor(rng, in, 10)
+		r := Validate(in, s)
+
+		loads := make(map[LinkInstance]graph.Capacity)
+		for e := r.WindowStart; e <= r.WindowEnd; e++ {
+			tr := TraceEmission(in, s, e)
+			for _, h := range tr.Hops {
+				loads[LinkInstance{From: h.From, To: h.To, Depart: h.Depart}] += in.Demand
+			}
+		}
+		manual := make(map[LinkInstance]graph.Capacity)
+		for li, load := range loads {
+			l, ok := in.G.Link(li.From, li.To)
+			if ok && load > l.Cap {
+				manual[li] = load
+			}
+		}
+		if len(manual) != len(r.Congestion) {
+			return false
+		}
+		for _, ev := range r.Congestion {
+			if manual[ev.Link] != ev.Load {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestValidateTimeTranslation: shifting a schedule (and its start) by a
+// constant shifts the report but not its verdict.
+func TestValidateTimeTranslation(t *testing.T) {
+	f := func(seed int64, shiftRaw int16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randomReversalInstance(rng)
+		if err := in.Validate(); err != nil {
+			return false
+		}
+		s := randomScheduleFor(rng, in, 8)
+		shift := Tick(shiftRaw % 1000)
+		moved := NewSchedule(s.Start + shift)
+		for v, tv := range s.Times {
+			moved.Set(v, tv+shift)
+		}
+		a := Validate(in, s)
+		b := Validate(in, moved)
+		return a.OK() == b.OK() &&
+			len(a.Congestion) == len(b.Congestion) &&
+			len(a.Loops) == len(b.Loops) &&
+			len(a.Blackholes) == len(b.Blackholes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,147 @@
+package dynflow
+
+import (
+	"fmt"
+
+	"github.com/chronus-sdn/chronus/internal/graph"
+)
+
+// TENode is a switch copy v(t) in the time-extended network.
+type TENode struct {
+	V graph.NodeID
+	T Tick
+}
+
+func (n TENode) String() string { return fmt.Sprintf("%d(%d)", n.V, n.T) }
+
+// TELink is a time-extended link ⟨u(t), v(t+σ)⟩ inheriting the physical
+// link's capacity.
+type TELink struct {
+	From TENode
+	To   TENode
+	Cap  graph.Capacity
+}
+
+// Instance returns the link-instance key (physical link + departure tick)
+// used by the validator's load accounting.
+func (l TELink) Instance() LinkInstance {
+	return LinkInstance{From: l.From.V, To: l.To.V, Depart: l.From.T}
+}
+
+// TEN is a materialized time-extended network G_T over the tick window
+// [T0, T1] (Definition 4 of the paper). It exists for the ILP encoder, for
+// tests, and for exposition; the validator and the greedy scheduler compute
+// over the same semantics without materializing it.
+type TEN struct {
+	G      *graph.Graph
+	T0, T1 Tick
+	links  []TELink
+	out    map[TENode][]TELink
+	in     map[TENode][]TELink
+}
+
+// Expand materializes the time-extended network of g over [t0, t1]. A link
+// instance ⟨u(t), v(t+σ)⟩ is included when both endpoints fall inside the
+// window.
+func Expand(g *graph.Graph, t0, t1 Tick) *TEN {
+	if t1 < t0 {
+		t0, t1 = t1, t0
+	}
+	ten := &TEN{
+		G:   g,
+		T0:  t0,
+		T1:  t1,
+		out: make(map[TENode][]TELink),
+		in:  make(map[TENode][]TELink),
+	}
+	for _, l := range g.Links() {
+		for t := t0; t+Tick(l.Delay) <= t1; t++ {
+			tel := TELink{
+				From: TENode{V: l.From, T: t},
+				To:   TENode{V: l.To, T: t + Tick(l.Delay)},
+				Cap:  l.Cap,
+			}
+			ten.links = append(ten.links, tel)
+			ten.out[tel.From] = append(ten.out[tel.From], tel)
+			ten.in[tel.To] = append(ten.in[tel.To], tel)
+		}
+	}
+	return ten
+}
+
+// NumNodes returns |V| × window length, the node count of G_T.
+func (ten *TEN) NumNodes() int {
+	return ten.G.NumNodes() * int(ten.T1-ten.T0+1)
+}
+
+// NumLinks returns the number of time-extended links.
+func (ten *TEN) NumLinks() int { return len(ten.links) }
+
+// Links returns all time-extended links. The slice must not be modified.
+func (ten *TEN) Links() []TELink { return ten.links }
+
+// Out returns the outgoing time-extended links of node n.
+func (ten *TEN) Out(n TENode) []TELink { return ten.out[n] }
+
+// In returns the incoming time-extended links of node n.
+func (ten *TEN) In(n TENode) []TELink { return ten.in[n] }
+
+// Contains reports whether n lies in the window.
+func (ten *TEN) Contains(n TENode) bool {
+	return ten.G.HasNode(n.V) && n.T >= ten.T0 && n.T <= ten.T1
+}
+
+// TracePath maps an emission trace onto time-extended links; hops departing
+// outside the window are skipped.
+func (ten *TEN) TracePath(tr Trace) []TELink {
+	var out []TELink
+	for _, h := range tr.Hops {
+		l, ok := ten.G.Link(h.From, h.To)
+		if !ok {
+			continue
+		}
+		if h.Depart < ten.T0 || h.Arrive > ten.T1 {
+			continue
+		}
+		out = append(out, TELink{
+			From: TENode{V: h.From, T: h.Depart},
+			To:   TENode{V: h.To, T: h.Arrive},
+			Cap:  l.Cap,
+		})
+	}
+	return out
+}
+
+// EnumeratePaths enumerates every loop-free path through the time-extended
+// network from src emitted at tick emit to dst, visiting each *physical*
+// switch at most once (Definition 2). It is exponential and intended only
+// for the literal ILP (3) encoding on small instances; limit bounds the
+// number of returned paths (0 means no limit).
+func (ten *TEN) EnumeratePaths(src, dst graph.NodeID, emit Tick, limit int) [][]TELink {
+	var out [][]TELink
+	visited := make(map[graph.NodeID]bool, ten.G.NumNodes())
+	var cur []TELink
+	var rec func(n TENode) bool
+	rec = func(n TENode) bool {
+		if n.V == dst {
+			out = append(out, append([]TELink(nil), cur...))
+			return limit > 0 && len(out) >= limit
+		}
+		visited[n.V] = true
+		defer func() { visited[n.V] = false }()
+		for _, l := range ten.out[n] {
+			if visited[l.To.V] {
+				continue
+			}
+			cur = append(cur, l)
+			stop := rec(l.To)
+			cur = cur[:len(cur)-1]
+			if stop {
+				return true
+			}
+		}
+		return false
+	}
+	rec(TENode{V: src, T: emit})
+	return out
+}

@@ -1,0 +1,157 @@
+package dynflow
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/chronus-sdn/chronus/internal/graph"
+)
+
+func TestExpandCounts(t *testing.T) {
+	in := fig1(t)
+	ten := Expand(in.G, 0, 3)
+	if got, want := ten.NumNodes(), 6*4; got != want {
+		t.Fatalf("NumNodes = %d, want %d", got, want)
+	}
+	// Each physical link (delay 1) yields one instance per departure tick in
+	// [0,2]: 10 links × 3 ticks.
+	if got, want := ten.NumLinks(), 10*3; got != want {
+		t.Fatalf("NumLinks = %d, want %d", got, want)
+	}
+}
+
+func TestExpandWindowClipping(t *testing.T) {
+	g := graph.New()
+	v := g.AddNodes("a", "b")
+	g.MustAddLink(v[0], v[1], 1, 5)
+	ten := Expand(g, 0, 4) // delay 5 never fits
+	if ten.NumLinks() != 0 {
+		t.Fatalf("NumLinks = %d, want 0", ten.NumLinks())
+	}
+	ten = Expand(g, 0, 5)
+	if ten.NumLinks() != 1 {
+		t.Fatalf("NumLinks = %d, want 1", ten.NumLinks())
+	}
+	l := ten.Links()[0]
+	if l.From.T != 0 || l.To.T != 5 {
+		t.Fatalf("link = %+v", l)
+	}
+}
+
+func TestExpandAdjacency(t *testing.T) {
+	in := fig1(t)
+	ten := Expand(in.G, 0, 3)
+	v1 := in.G.Lookup("v1")
+	out := ten.Out(TENode{V: v1, T: 0})
+	if len(out) != 2 { // v1->v2 and v1->v5 link copies
+		t.Fatalf("Out(v1(0)) = %v, want 2 links", out)
+	}
+	for _, l := range out {
+		if l.To.T != 1 {
+			t.Fatalf("arrival tick = %d, want 1", l.To.T)
+		}
+		back := ten.In(l.To)
+		found := false
+		for _, b := range back {
+			if b.From == l.From {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("In(%v) missing reverse entry of %v", l.To, l)
+		}
+	}
+	if !ten.Contains(TENode{V: v1, T: 3}) {
+		t.Fatal("Contains false inside window")
+	}
+	if ten.Contains(TENode{V: v1, T: 4}) {
+		t.Fatal("Contains true outside window")
+	}
+}
+
+func TestExpandSwappedWindow(t *testing.T) {
+	in := fig1(t)
+	a := Expand(in.G, 3, 0)
+	b := Expand(in.G, 0, 3)
+	if a.NumLinks() != b.NumLinks() || a.T0 != b.T0 || a.T1 != b.T1 {
+		t.Fatal("Expand does not normalize a swapped window")
+	}
+}
+
+func TestTracePathMapsHops(t *testing.T) {
+	in := fig1(t)
+	s := paperSchedule(in)
+	tr := TraceEmission(in, s, 2)
+	ten := Expand(in.G, 0, 10)
+	tels := ten.TracePath(tr)
+	if len(tels) != len(tr.Hops) {
+		t.Fatalf("TracePath kept %d of %d hops", len(tels), len(tr.Hops))
+	}
+	for i, l := range tels {
+		if l.From.V != tr.Hops[i].From || l.From.T != tr.Hops[i].Depart {
+			t.Fatalf("hop %d mapped to %v", i, l)
+		}
+		if l.Instance() != (LinkInstance{From: tr.Hops[i].From, To: tr.Hops[i].To, Depart: tr.Hops[i].Depart}) {
+			t.Fatalf("Instance mismatch at hop %d", i)
+		}
+	}
+	// A narrow window clips hops.
+	narrow := Expand(in.G, 0, 3)
+	if got := narrow.TracePath(tr); len(got) >= len(tr.Hops) {
+		t.Fatalf("narrow window kept %d hops", len(got))
+	}
+}
+
+func TestEnumeratePathsSmall(t *testing.T) {
+	in := fig1(t)
+	ten := Expand(in.G, 0, 12)
+	paths := ten.EnumeratePaths(in.Source(), in.Dest(), 0, 0)
+	if len(paths) < 2 {
+		t.Fatalf("found %d paths, want at least the old and new routes", len(paths))
+	}
+	// Every enumerated path is loop-free over physical switches.
+	for _, p := range paths {
+		seen := map[graph.NodeID]bool{in.Source(): true}
+		for _, l := range p {
+			if seen[l.To.V] {
+				t.Fatalf("path revisits %v: %v", l.To, p)
+			}
+			seen[l.To.V] = true
+		}
+		if p[len(p)-1].To.V != in.Dest() {
+			t.Fatalf("path does not reach dest: %v", p)
+		}
+	}
+	// The limit is honored.
+	if got := ten.EnumeratePaths(in.Source(), in.Dest(), 0, 1); len(got) != 1 {
+		t.Fatalf("limit ignored: %d paths", len(got))
+	}
+}
+
+// TestExpandTickTranslationInvariance: G_T over [a, b] is isomorphic to
+// G_T over [a+k, b+k] — link counts and per-node degrees agree under
+// translation.
+func TestExpandTickTranslationInvariance(t *testing.T) {
+	in := fig1(t)
+	f := func(shift int8) bool {
+		k := Tick(shift)
+		base := Expand(in.G, 0, 6)
+		moved := Expand(in.G, k, 6+k)
+		if base.NumLinks() != moved.NumLinks() {
+			return false
+		}
+		for _, id := range in.G.Nodes() {
+			for tt := Tick(0); tt <= 6; tt++ {
+				a := base.Out(TENode{V: id, T: tt})
+				b := moved.Out(TENode{V: id, T: tt + k})
+				if len(a) != len(b) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,196 @@
+package dynflow
+
+import (
+	"github.com/chronus-sdn/chronus/internal/graph"
+)
+
+// tracer is the allocation-light engine behind Validate and TraceEmission:
+// adjacency resolved through dense per-node slices, per-trace visited sets
+// via stamping, and load accounting keyed by (link ordinal, departure tick)
+// packed into one integer.
+type tracer struct {
+	in *Instance
+	// out[v] lists v's outgoing links with their ordinals.
+	out   [][]tracerLink
+	caps  []graph.Capacity  // by ordinal
+	pairs [][2]graph.NodeID // ordinal -> (from, to)
+	// visit stamps detect revisits without a per-trace map.
+	visit []uint64
+	stamp uint64
+	// fingerprint detects graph mutations that invalidate a cached tracer.
+	nodes, links int
+	checksum     uint64
+
+	// Load accounting scratch, reused across Validate calls. When the
+	// (links × window) product is small the dense epoch-stamped array is
+	// used; otherwise loads fall back to a map.
+	loadVal   []graph.Capacity
+	loadEpoch []uint32
+	epoch     uint32
+	touched   []int64
+	span      int64
+	loadMap   map[int64]graph.Capacity
+	dense     bool
+}
+
+// denseLoadLimit caps the dense scratch size (entries).
+const denseLoadLimit = 1 << 22
+
+// beginLoads prepares load accounting for a window of the given span.
+func (tr *tracer) beginLoads(span int64) {
+	tr.span = span
+	tr.touched = tr.touched[:0]
+	need := int64(len(tr.caps)) * span
+	if need > 0 && need <= denseLoadLimit {
+		tr.dense = true
+		if int64(len(tr.loadVal)) < need {
+			tr.loadVal = make([]graph.Capacity, need)
+			tr.loadEpoch = make([]uint32, need)
+		}
+		tr.epoch++
+		if tr.epoch == 0 { // wrapped: clear stamps
+			for i := range tr.loadEpoch {
+				tr.loadEpoch[i] = 0
+			}
+			tr.epoch = 1
+		}
+		return
+	}
+	tr.dense = false
+	tr.loadMap = make(map[int64]graph.Capacity, 1024)
+}
+
+// addLoad accounts one unit of demand departing on ordinal at offset ticks
+// past the window start.
+func (tr *tracer) addLoad(ordinal int32, offset int64) {
+	if offset < 0 || offset >= tr.span {
+		return // outside the accounted window (cannot happen by window construction)
+	}
+	key := int64(ordinal)*tr.span + offset
+	if tr.dense {
+		if tr.loadEpoch[key] != tr.epoch {
+			tr.loadEpoch[key] = tr.epoch
+			tr.loadVal[key] = 0
+			tr.touched = append(tr.touched, key)
+		}
+		tr.loadVal[key] += tr.in.Demand
+		return
+	}
+	if _, ok := tr.loadMap[key]; !ok {
+		tr.touched = append(tr.touched, key)
+	}
+	tr.loadMap[key] += tr.in.Demand
+}
+
+// loadAt reads an accounted load by key.
+func (tr *tracer) loadAt(key int64) graph.Capacity {
+	if tr.dense {
+		return tr.loadVal[key]
+	}
+	return tr.loadMap[key]
+}
+
+// graphChecksum folds every link's endpoints, capacity and delay so that
+// re-weighted links invalidate a cached tracer too.
+func graphChecksum(g *graph.Graph) uint64 {
+	var h uint64 = 1469598103934665603
+	mix := func(v int64) {
+		h ^= uint64(v)
+		h *= 1099511628211
+	}
+	for i := 0; i < g.NumNodes(); i++ {
+		id := graph.NodeID(i)
+		for _, l := range g.Out(id) {
+			mix(int64(l.From))
+			mix(int64(l.To))
+			mix(int64(l.Cap))
+			mix(int64(l.Delay))
+		}
+	}
+	return h
+}
+
+type tracerLink struct {
+	to      graph.NodeID
+	delay   Tick
+	ordinal int32
+}
+
+func newTracer(in *Instance) *tracer {
+	n := in.G.NumNodes()
+	tr := &tracer{
+		in:    in,
+		out:   make([][]tracerLink, n),
+		visit: make([]uint64, n),
+	}
+	ord := int32(0)
+	for _, id := range in.G.Nodes() {
+		for _, l := range in.G.Out(id) {
+			tr.out[id] = append(tr.out[id], tracerLink{to: l.To, delay: Tick(l.Delay), ordinal: ord})
+			tr.caps = append(tr.caps, l.Cap)
+			tr.pairs = append(tr.pairs, [2]graph.NodeID{id, l.To})
+			ord++
+		}
+	}
+	tr.nodes = in.G.NumNodes()
+	tr.links = in.G.NumLinks()
+	tr.checksum = graphChecksum(in.G)
+	return tr
+}
+
+// tracerFor returns the instance's cached tracer, rebuilding it when the
+// graph changed.
+func tracerFor(in *Instance) *tracer {
+	if in.trc != nil && in.trc.nodes == in.G.NumNodes() && in.trc.links == in.G.NumLinks() &&
+		in.trc.checksum == graphChecksum(in.G) {
+		return in.trc
+	}
+	in.trc = newTracer(in)
+	return in.trc
+}
+
+func (tr *tracer) link(from, to graph.NodeID) (tracerLink, bool) {
+	if int(from) >= len(tr.out) {
+		return tracerLink{}, false
+	}
+	for _, l := range tr.out[from] {
+		if l.to == to {
+			return l, true
+		}
+	}
+	return tracerLink{}, false
+}
+
+// trace follows one emission, accumulating loads (when record is true) and
+// returning the terminal status with its location and tick.
+func (tr *tracer) trace(s *Schedule, emit Tick, base Tick, record bool) (status TraceStatus, at graph.NodeID, end Tick) {
+	in := tr.in
+	cur := in.Source()
+	t := emit
+	dest := in.Dest()
+	tr.stamp++
+	tr.visit[cur] = tr.stamp
+	for step := 0; step <= len(tr.visit); step++ {
+		if cur == dest {
+			return Delivered, graph.Invalid, t
+		}
+		nh := NextHopAt(in, s, cur, t)
+		if nh == graph.Invalid {
+			return Blackholed, cur, t
+		}
+		l, ok := tr.link(cur, nh)
+		if !ok {
+			return Blackholed, cur, t
+		}
+		if record {
+			tr.addLoad(l.ordinal, int64(t-base))
+		}
+		t += l.delay
+		cur = nh
+		if int(cur) < len(tr.visit) && tr.visit[cur] == tr.stamp {
+			return Looped, cur, t
+		}
+		tr.visit[cur] = tr.stamp
+	}
+	return Looped, cur, t
+}

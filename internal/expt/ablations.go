@@ -1,0 +1,260 @@
+package expt
+
+import (
+	"errors"
+	"time"
+
+	"github.com/chronus-sdn/chronus/internal/controller"
+	"github.com/chronus-sdn/chronus/internal/core"
+	"github.com/chronus-sdn/chronus/internal/dynflow"
+	"github.com/chronus-sdn/chronus/internal/emu"
+	"github.com/chronus-sdn/chronus/internal/metrics"
+	"github.com/chronus-sdn/chronus/internal/sim"
+	"github.com/chronus-sdn/chronus/internal/timesync"
+	"github.com/chronus-sdn/chronus/internal/topo"
+)
+
+// ClockSkewPoint is one sync-error level of the clock ablation.
+type ClockSkewPoint struct {
+	SyncErrorNs   int64
+	OverloadTicks sim.Time
+	Drops         float64
+	Violated      int // runs with any overload or drop
+	Runs          int
+}
+
+// AblationClockSkew quantifies the paper's premise that microsecond-
+// accurate clocks make timed updates safe: the same provably safe schedule
+// is executed under clock ensembles of increasing sync error, and the
+// emulator records when transient violations appear. With millisecond
+// ticks, violations should start once the error approaches the link
+// delays.
+func AblationClockSkew(cfg Config) ([]ClockSkewPoint, error) {
+	in := topo.EmulationTopo()
+	errorsNs := []int64{0, 1_000, 100_000, timesync.TickNs, 5 * timesync.TickNs, 20 * timesync.TickNs, 100 * timesync.TickNs}
+	const runs = 5
+	var out []ClockSkewPoint
+	for _, errNs := range errorsNs {
+		point := ClockSkewPoint{SyncErrorNs: errNs, Runs: runs}
+		for seed := int64(0); seed < runs; seed++ {
+			h := controller.NewHarness(in.G)
+			c := controller.New(h, controller.Options{Seed: cfg.Seed + seed})
+			var ens *timesync.Ensemble
+			if errNs > 0 {
+				ens = timesync.New(timesync.Params{
+					Seed:           cfg.Seed + seed,
+					SyncIntervalNs: 1_000_000_000,
+					SyncErrorNs:    errNs,
+					DriftPPB:       10_000,
+				}, in.G.Nodes())
+			}
+			c.AttachAll(ens)
+			f := controller.FlowSpec{Name: "agg", Tag: 0, Path: in.Init, Rate: emu.Rate(in.Demand)}
+			if err := c.Provision(f); err != nil {
+				return nil, err
+			}
+			h.AdvanceTo(300)
+			gr, err := core.Greedy(in, core.Options{Mode: core.ModeExact})
+			if err != nil {
+				return nil, err
+			}
+			s := dynflow.NewSchedule(400)
+			for v, tv := range gr.Schedule.Times {
+				s.Set(v, 400+tv)
+			}
+			if err := c.ExecuteTimed(in, s, f); err != nil {
+				return nil, err
+			}
+			h.AdvanceTo(900)
+			over := h.Net.TotalOverloadTicks()
+			var drops float64
+			for _, id := range in.G.Nodes() {
+				drops += h.Net.Switch(id).Dropped()
+			}
+			point.OverloadTicks += over
+			point.Drops += drops
+			if over > 0 || drops > 0 {
+				point.Violated++
+			}
+		}
+		out = append(out, point)
+	}
+	return out, nil
+}
+
+// ClockSkewTable renders the ablation.
+func ClockSkewTable(points []ClockSkewPoint) *metrics.Table {
+	t := &metrics.Table{Header: []string{"sync_error_ns", "violated_runs", "runs", "overload_ticks", "drops"}}
+	for _, p := range points {
+		t.AddRowf(p.SyncErrorNs, p.Violated, p.Runs, int64(p.OverloadTicks), p.Drops)
+	}
+	return t
+}
+
+// ModePoint compares the greedy acceptance modes (and the naive
+// drain-paced sequential baseline) at one size.
+type ModePoint struct {
+	N                                  int
+	ExactMakespan                      float64
+	FastMakespan                       float64
+	SeqMakespan                        float64
+	ExactSeconds                       float64
+	FastSeconds                        float64
+	ExactSolved, FastSolved, SeqSolved int
+	Instances                          int
+}
+
+// AblationAcceptanceMode compares ModeExact (validator-backed) against
+// ModeFast (closed-form in-flight accounting): solution quality (makespan),
+// success rate and scheduling time. This quantifies what the paper's local
+// checks give up relative to ground-truth re-validation.
+func AblationAcceptanceMode(cfg Config) ([]ModePoint, error) {
+	var out []ModePoint
+	for _, n := range cfg.Sizes {
+		rng := rngFor(cfg, "ablation-mode", int64(n))
+		p := ModePoint{N: n, Instances: cfg.InstancesPerRun}
+		var exSum, faSum, seqSum float64
+		var exCount, faCount, seqCount int
+		for k := 0; k < cfg.InstancesPerRun; k++ {
+			in := topo.RandomInstance(rng, instanceParams(n))
+			start := time.Now()
+			ex, exErr := core.Greedy(in, core.Options{Mode: core.ModeExact})
+			p.ExactSeconds += time.Since(start).Seconds()
+			start = time.Now()
+			fa, faErr := core.Greedy(in, core.Options{Mode: core.ModeFast})
+			p.FastSeconds += time.Since(start).Seconds()
+			if exErr == nil {
+				p.ExactSolved++
+				exSum += float64(ex.Schedule.Makespan())
+				exCount++
+			} else if !errors.Is(exErr, core.ErrInfeasible) {
+				return nil, exErr
+			}
+			if faErr == nil {
+				p.FastSolved++
+				faSum += float64(fa.Schedule.Makespan())
+				faCount++
+			} else if !errors.Is(faErr, core.ErrInfeasible) {
+				return nil, faErr
+			}
+			if seq, seqErr := core.SequentialDrain(in, 0); seqErr == nil {
+				p.SeqSolved++
+				seqSum += float64(seq.Makespan())
+				seqCount++
+			} else if !errors.Is(seqErr, core.ErrInfeasible) {
+				return nil, seqErr
+			}
+		}
+		if exCount > 0 {
+			p.ExactMakespan = exSum / float64(exCount)
+		}
+		if faCount > 0 {
+			p.FastMakespan = faSum / float64(faCount)
+		}
+		if seqCount > 0 {
+			p.SeqMakespan = seqSum / float64(seqCount)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// ModeTable renders the acceptance-mode ablation.
+func ModeTable(points []ModePoint) *metrics.Table {
+	t := &metrics.Table{Header: []string{
+		"switches", "exact_solved", "fast_solved", "seq_solved", "instances",
+		"exact_makespan", "fast_makespan", "seq_makespan", "exact_s", "fast_s",
+	}}
+	for _, p := range points {
+		t.AddRowf(p.N, p.ExactSolved, p.FastSolved, p.SeqSolved, p.Instances,
+			p.ExactMakespan, p.FastMakespan, p.SeqMakespan, p.ExactSeconds, p.FastSeconds)
+	}
+	return t
+}
+
+// ExecModePoint compares time-triggered execution against barrier pacing.
+type ExecModePoint struct {
+	Scheme        string
+	UpdateTicks   sim.Time
+	OverloadTicks sim.Time
+	Drops         float64
+}
+
+// AblationExecutionMode executes the same Chronus schedule on the emulated
+// network (a) time-triggered (timed FlowMods on synchronized clocks) and
+// (b) barrier-paced (the literal Algorithm 5 loop, one controller round
+// trip per time unit). It reports the data-plane transition duration and
+// any transient violations: barrier pacing stretches the update and, with
+// control-latency jitter, can break the timing the schedule relies on —
+// the paper's core argument for timed SDNs.
+func AblationExecutionMode(cfg Config) ([]ExecModePoint, error) {
+	in := topo.EmulationTopo()
+	gr, err := core.Greedy(in, core.Options{Mode: core.ModeExact})
+	if err != nil {
+		return nil, err
+	}
+	var out []ExecModePoint
+	run := func(scheme string, exec func(c *controller.Controller, h *controller.Harness, f controller.FlowSpec) error) error {
+		h := controller.NewHarness(in.G)
+		c := controller.New(h, controller.Options{Seed: cfg.Seed, MinLatency: 1, MaxLatency: 8})
+		c.AttachAll(nil)
+		f := controller.FlowSpec{Name: "agg", Tag: 0, Path: in.Init, Rate: emu.Rate(in.Demand)}
+		if err := c.Provision(f); err != nil {
+			return err
+		}
+		h.AdvanceTo(400)
+		tStart := h.Now()
+		if err := exec(c, h, f); err != nil {
+			return err
+		}
+		// Run until the new path carries traffic end to end.
+		h.AdvanceTo(tStart + 600)
+		var drops float64
+		for _, id := range in.G.Nodes() {
+			drops += h.Net.Switch(id).Dropped()
+		}
+		// Transition duration: last rate change on any link.
+		var last sim.Time
+		for _, l := range h.Net.Links() {
+			tl := l.Timeline()
+			if len(tl) > 0 && tl[len(tl)-1].At > last {
+				last = tl[len(tl)-1].At
+			}
+		}
+		out = append(out, ExecModePoint{
+			Scheme:        scheme,
+			UpdateTicks:   last - tStart,
+			OverloadTicks: h.Net.TotalOverloadTicks(),
+			Drops:         drops,
+		})
+		return nil
+	}
+	if err := run("timed", func(c *controller.Controller, h *controller.Harness, f controller.FlowSpec) error {
+		s := dynflow.NewSchedule(450)
+		for v, tv := range gr.Schedule.Times {
+			s.Set(v, 450+tv)
+		}
+		return c.ExecuteTimed(in, s, f)
+	}); err != nil {
+		return nil, err
+	}
+	if err := run("barrier-paced", func(c *controller.Controller, h *controller.Harness, f controller.FlowSpec) error {
+		s := dynflow.NewSchedule(0)
+		for v, tv := range gr.Schedule.Times {
+			s.Set(v, tv)
+		}
+		return c.ExecuteBarrierPaced(in, s, f, 1)
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ExecModeTable renders the execution-mode ablation.
+func ExecModeTable(points []ExecModePoint) *metrics.Table {
+	t := &metrics.Table{Header: []string{"execution", "update_ticks", "overload_ticks", "drops"}}
+	for _, p := range points {
+		t.AddRowf(p.Scheme, int64(p.UpdateTicks), int64(p.OverloadTicks), p.Drops)
+	}
+	return t
+}

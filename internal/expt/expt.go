@@ -1,0 +1,127 @@
+// Package expt is the evaluation harness: one generator per table and
+// figure of the paper's evaluation section (Table II, Figures 6-11), plus
+// the ablations DESIGN.md calls out (clock skew, greedy acceptance mode,
+// execution mode). Each generator is deterministic under its Config seed
+// and returns both raw data and a rendered metrics.Table with the same rows
+// or series the paper reports; cmd/experiments prints them and
+// bench_test.go wraps them as benchmarks.
+package expt
+
+import (
+	"math/rand"
+
+	"github.com/chronus-sdn/chronus/internal/dynflow"
+	"github.com/chronus-sdn/chronus/internal/topo"
+)
+
+// Config scales the experiment suite. Default matches the paper's setup;
+// Quick shrinks everything for tests and benchmarks.
+type Config struct {
+	Seed int64
+
+	// Sizes are the switch counts of the quality experiments
+	// (Figs. 7, 8, 9; paper: 10..60 step 10).
+	Sizes []int
+	// Runs is the number of independent runs per size (paper: >= 30).
+	Runs int
+	// InstancesPerRun is the number of update instances compared per run
+	// (paper: 50).
+	InstancesPerRun int
+	// OPTRuns caps how many of the runs also evaluate OPT, whose
+	// branch-and-bound cost dominates; the paper's OPT line is equally a
+	// budgeted branch and bound.
+	OPTRuns int
+	// OPTNodes is OPT's node budget per instance.
+	OPTNodes int
+
+	// ORRoundWidth is the tick width of one OR round when replaying OR on
+	// the timed validator (the intra-round asynchrony window).
+	ORRoundWidth dynflow.Tick
+
+	// BigSizes are the Fig. 10 switch counts (paper: 1000..6000).
+	BigSizes []int
+	// BigInstances is the number of instances timed per big size.
+	BigInstances int
+	// BigNodes is the node budget for OR and OPT in Fig. 10 and
+	// BigTimeoutSec the wall-clock limit per instance; exceeding either
+	// reproduces the paper's "does not complete within the limit"
+	// behaviour.
+	BigNodes      int
+	BigTimeoutSec int
+
+	// CDFSize and CDFInstances configure Fig. 11 (paper: 40 switches).
+	CDFSize      int
+	CDFInstances int
+
+	// Fig6Samples and Fig6Interval configure the bandwidth time series.
+	Fig6Samples  int
+	Fig6Interval int64
+}
+
+// Default returns the paper-scale configuration.
+func Default(seed int64) Config {
+	return Config{
+		Seed:            seed,
+		Sizes:           []int{10, 20, 30, 40, 50, 60},
+		Runs:            10,
+		InstancesPerRun: 50,
+		OPTRuns:         2,
+		OPTNodes:        400,
+		ORRoundWidth:    2,
+		BigSizes:        []int{1000, 2000, 3000, 4000, 5000, 6000},
+		BigInstances:    2,
+		BigNodes:        600,
+		BigTimeoutSec:   20,
+		CDFSize:         40,
+		CDFInstances:    200,
+		Fig6Samples:     60,
+		Fig6Interval:    20,
+	}
+}
+
+// Quick returns a reduced configuration for tests and benchmarks.
+func Quick(seed int64) Config {
+	return Config{
+		Seed:            seed,
+		Sizes:           []int{10, 20, 30},
+		Runs:            3,
+		InstancesPerRun: 10,
+		OPTRuns:         1,
+		OPTNodes:        150,
+		ORRoundWidth:    2,
+		BigSizes:        []int{200, 400},
+		BigInstances:    1,
+		BigNodes:        150,
+		BigTimeoutSec:   2,
+		CDFSize:         20,
+		CDFInstances:    30,
+		Fig6Samples:     60,
+		Fig6Interval:    20,
+	}
+}
+
+// instanceParams is the generator profile of the quality experiments
+// (Figs. 7, 8, 9, 11): the initial route is the fixed line over all
+// switches and the final route is random, per the paper's simulation setup.
+func instanceParams(n int) topo.RandomParams {
+	return topo.DefaultRandomParams(n)
+}
+
+// bigParams is the Fig. 10 profile: random routing with a shallower final
+// path so instances remain schedulable at thousands of switches (the
+// running-time figure measures scale, not adversarial hardness).
+func bigParams(n int) topo.RandomParams {
+	p := topo.DefaultRandomParams(n)
+	p.FinalInclude = 0.3
+	p.MaxDelay = 2
+	return p
+}
+
+// rngFor derives a deterministic sub-generator per experiment stage.
+func rngFor(cfg Config, stage string, k int64) *rand.Rand {
+	h := cfg.Seed
+	for _, c := range stage {
+		h = h*131 + int64(c)
+	}
+	return rand.New(rand.NewSource(h*1_000_003 + k))
+}

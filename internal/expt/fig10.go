@@ -1,0 +1,83 @@
+package expt
+
+import (
+	"errors"
+	"time"
+
+	"github.com/chronus-sdn/chronus/internal/baseline"
+	"github.com/chronus-sdn/chronus/internal/core"
+	"github.com/chronus-sdn/chronus/internal/metrics"
+	"github.com/chronus-sdn/chronus/internal/opt"
+	"github.com/chronus-sdn/chronus/internal/topo"
+)
+
+// Fig10Point is the running-time comparison at one switch count.
+type Fig10Point struct {
+	N int
+	// Seconds per scheme, averaged over BigInstances.
+	Chronus, OR, OPT float64
+	// ORBudget / OPTBudget report how many instances exhausted the search
+	// budget (the paper's "does not complete within the time limit").
+	ORBudget, OPTBudget int
+}
+
+// Fig10Result reproduces Fig. 10: scheduling time versus switch count at
+// thousands of switches. Chronus runs its fast greedy to completion; OR and
+// OPT run their branch and bound under a node budget, so their reported
+// time is a lower bound whenever the budget flag is set — exactly the
+// paper's "exceeds the limit" semantics.
+type Fig10Result struct {
+	Points []Fig10Point
+}
+
+// Fig10RunningTime measures wall-clock scheduling time per scheme.
+func Fig10RunningTime(cfg Config) (*Fig10Result, error) {
+	res := &Fig10Result{}
+	for _, n := range cfg.BigSizes {
+		point := Fig10Point{N: n}
+		for k := 0; k < cfg.BigInstances; k++ {
+			rng := rngFor(cfg, "fig10", int64(n)*100+int64(k))
+			in := topo.RandomInstance(rng, bigParams(n))
+
+			start := time.Now()
+			_, err := core.Greedy(in, core.Options{Mode: core.ModeFast})
+			point.Chronus += time.Since(start).Seconds()
+			if err != nil && !errors.Is(err, core.ErrInfeasible) {
+				return nil, err
+			}
+
+			timeout := time.Duration(cfg.BigTimeoutSec) * time.Second
+			start = time.Now()
+			orRes, err := baseline.OROptimal(in, baseline.OROptions{MaxNodes: cfg.BigNodes, Timeout: timeout})
+			point.OR += time.Since(start).Seconds()
+			if err == nil && !orRes.Exact {
+				point.ORBudget++
+			}
+
+			start = time.Now()
+			optRes, err := opt.Exact(in, opt.Options{MaxNodes: cfg.BigNodes, Timeout: timeout})
+			point.OPT += time.Since(start).Seconds()
+			if err != nil {
+				return nil, err
+			}
+			if optRes.Status == opt.StatusBudget {
+				point.OPTBudget++
+			}
+		}
+		inv := 1 / float64(cfg.BigInstances)
+		point.Chronus *= inv
+		point.OR *= inv
+		point.OPT *= inv
+		res.Points = append(res.Points, point)
+	}
+	return res, nil
+}
+
+// Table renders Fig. 10.
+func (r *Fig10Result) Table() *metrics.Table {
+	t := &metrics.Table{Header: []string{"switches", "chronus_s", "or_s", "or_budget_hit", "opt_s", "opt_budget_hit"}}
+	for _, p := range r.Points {
+		t.AddRowf(p.N, p.Chronus, p.OR, p.ORBudget, p.OPT, p.OPTBudget)
+	}
+	return t
+}

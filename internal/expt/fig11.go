@@ -1,0 +1,79 @@
+package expt
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/chronus-sdn/chronus/internal/core"
+	"github.com/chronus-sdn/chronus/internal/metrics"
+	"github.com/chronus-sdn/chronus/internal/opt"
+	"github.com/chronus-sdn/chronus/internal/topo"
+)
+
+// Fig11Result reproduces Fig. 11: the CDF of the total update time (the
+// schedule makespan, in time units) at a fixed switch count, for Chronus
+// and for OPT. Instances that neither scheme can solve congestion-free are
+// excluded (they have no update time), as in the paper.
+type Fig11Result struct {
+	N        int
+	Chronus  *metrics.CDF
+	OPT      *metrics.CDF
+	Solved   int
+	Excluded int
+	// OPTBudgetHits counts instances where OPT returned its incumbent
+	// after exhausting the node budget (its point is then an upper bound).
+	OPTBudgetHits int
+}
+
+// Fig11UpdateTimeCDF computes update-time distributions over
+// cfg.CDFInstances random instances with cfg.CDFSize switches.
+func Fig11UpdateTimeCDF(cfg Config) (*Fig11Result, error) {
+	res := &Fig11Result{N: cfg.CDFSize}
+	var chronus, optTimes []float64
+	rng := rngFor(cfg, "fig11", int64(cfg.CDFSize))
+	for k := 0; k < cfg.CDFInstances; k++ {
+		in := topo.RandomInstance(rng, instanceParams(cfg.CDFSize))
+		gres, gerr := core.Greedy(in, core.Options{Mode: core.ModeExact})
+		ores, oerr := opt.Exact(in, opt.Options{MaxNodes: cfg.OPTNodes})
+		if oerr != nil {
+			return nil, oerr
+		}
+		if gerr != nil && !errors.Is(gerr, core.ErrInfeasible) {
+			return nil, gerr
+		}
+		if gerr != nil || ores.Schedule == nil {
+			res.Excluded++
+			continue
+		}
+		res.Solved++
+		if ores.Status == opt.StatusBudget {
+			res.OPTBudgetHits++
+		}
+		chronus = append(chronus, float64(gres.Schedule.Makespan()))
+		optTimes = append(optTimes, float64(ores.Schedule.Makespan()))
+	}
+	res.Chronus = metrics.NewCDF(chronus)
+	res.OPT = metrics.NewCDF(optTimes)
+	return res, nil
+}
+
+// Table renders the two CDFs on a shared grid of update times.
+func (r *Fig11Result) Table() *metrics.Table {
+	t := &metrics.Table{Header: []string{"time_units", "chronus_cdf", "opt_cdf"}}
+	maxX := 0.0
+	for _, pts := range [][][2]float64{r.Chronus.Points(), r.OPT.Points()} {
+		for _, p := range pts {
+			if p[0] > maxX {
+				maxX = p[0]
+			}
+		}
+	}
+	for x := 0.0; x <= maxX; x++ {
+		t.AddRow(
+			fmt.Sprintf("%.0f", x),
+			fmt.Sprintf("%.3f", r.Chronus.At(x)),
+			fmt.Sprintf("%.3f", r.OPT.At(x)),
+		)
+	}
+	return t
+}

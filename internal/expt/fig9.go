@@ -1,0 +1,68 @@
+package expt
+
+import (
+	"github.com/chronus-sdn/chronus/internal/baseline"
+	"github.com/chronus-sdn/chronus/internal/metrics"
+	"github.com/chronus-sdn/chronus/internal/topo"
+)
+
+// Fig9Point is the rule-space comparison at one switch count: a box-plot
+// summary of Chronus's resident rules at the update peak against the
+// two-phase mean (the paper plots Chronus as a box plot and TP as points,
+// noting TP leaves the chart beyond 40 switches).
+type Fig9Point struct {
+	N          int
+	Chronus    metrics.Summary
+	TPMean     float64
+	SavingsPct float64
+}
+
+// Fig9Result reproduces Fig. 9.
+type Fig9Result struct {
+	Points []Fig9Point
+}
+
+// Fig9RuleOverhead accounts flow-table usage per update instance under
+// Chronus (rules modified in place, fresh installs only on final-only
+// switches) and two-phase commit (both versions resident plus per-host
+// stamping entries at the ingress, per Table II's tagged host rules).
+// The ingress hosts one prefix per switch, as in pod-style deployments.
+func Fig9RuleOverhead(cfg Config) (*Fig9Result, error) {
+	res := &Fig9Result{}
+	for _, n := range cfg.Sizes {
+		rng := rngFor(cfg, "fig9", int64(n))
+		var chronus []float64
+		var tpSum float64
+		count := cfg.Runs * cfg.InstancesPerRun
+		params := instanceParams(n)
+		// Randomize the initial path too so the box plot reflects topology
+		// diversity (final-only switches need fresh installs).
+		params.InitInclude = 0.75
+		for k := 0; k < count; k++ {
+			in := topo.RandomInstance(rng, params)
+			acc := baseline.CountRules(in, n)
+			chronus = append(chronus, float64(acc.ChronusPeak))
+			tpSum += float64(acc.TPPeak)
+		}
+		tpMean := tpSum / float64(count)
+		sum := metrics.Summarize(chronus)
+		res.Points = append(res.Points, Fig9Point{
+			N:          n,
+			Chronus:    sum,
+			TPMean:     tpMean,
+			SavingsPct: 100 * (1 - sum.Mean/tpMean),
+		})
+	}
+	return res, nil
+}
+
+// Table renders Fig. 9 with box-plot columns for Chronus.
+func (r *Fig9Result) Table() *metrics.Table {
+	t := &metrics.Table{Header: []string{
+		"switches", "chronus_min", "chronus_q1", "chronus_med", "chronus_q3", "chronus_max", "chronus_mean", "tp_mean", "savings_pct",
+	}}
+	for _, p := range r.Points {
+		t.AddRowf(p.N, p.Chronus.Min, p.Chronus.Q1, p.Chronus.Median, p.Chronus.Q3, p.Chronus.Max, p.Chronus.Mean, p.TPMean, p.SavingsPct)
+	}
+	return t
+}

@@ -1,0 +1,179 @@
+// Package ilp solves 0/1 integer linear programs by branch and bound over
+// LP relaxations (internal/lp). The paper uses branch and bound both for
+// OPT (the MUTP integer program (3)) and for the round-minimizing order
+// replacement baseline; this package provides that machinery with explicit
+// node budgets so the evaluation can reproduce the "does not complete
+// within the time limit" behaviour of Fig. 10.
+package ilp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/chronus-sdn/chronus/internal/lp"
+)
+
+// Problem is a 0/1 integer program: maximize Objective · x subject to
+// Constraints, x[i] ∈ {0, 1}.
+type Problem struct {
+	NumVars     int
+	Objective   []float64
+	Constraints []lp.Constraint
+}
+
+// AddConstraint appends a linear constraint.
+func (p *Problem) AddConstraint(coeffs []float64, op lp.Op, rhs float64) {
+	p.Constraints = append(p.Constraints, lp.Constraint{Coeffs: coeffs, Op: op, RHS: rhs})
+}
+
+// Status classifies the outcome.
+type Status int
+
+const (
+	// Optimal means the returned assignment is provably optimal.
+	Optimal Status = iota + 1
+	// Infeasible means no 0/1 assignment satisfies the constraints.
+	Infeasible
+	// Budget means the node budget was exhausted; X holds the best
+	// incumbent found (if Found is true).
+	Budget
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Budget:
+		return "budget-exhausted"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Options configures the search.
+type Options struct {
+	// MaxNodes caps branch-and-bound nodes (0 = default 100000).
+	MaxNodes int
+}
+
+// Solution is the result of Solve.
+type Solution struct {
+	Status    Status
+	Found     bool
+	X         []int
+	Objective float64
+	Nodes     int
+}
+
+// ErrMalformed mirrors lp.ErrMalformed for invalid programs.
+var ErrMalformed = errors.New("ilp: malformed problem")
+
+const intTol = 1e-6
+
+// Solve runs depth-first branch and bound. Fractional LP optima provide
+// upper bounds; branching picks the most fractional variable, exploring the
+// rounded branch first.
+func Solve(p *Problem, opts Options) (*Solution, error) {
+	if p.NumVars <= 0 {
+		return nil, fmt.Errorf("%w: NumVars=%d", ErrMalformed, p.NumVars)
+	}
+	maxNodes := opts.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = 100000
+	}
+	sol := &Solution{Objective: math.Inf(-1)}
+	fixed := make([]int, p.NumVars) // -1 free, 0 or 1 fixed
+	for i := range fixed {
+		fixed[i] = -1
+	}
+	exhausted, err := branch(p, fixed, sol, maxNodes)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case exhausted && sol.Found:
+		sol.Status = Budget
+	case exhausted:
+		sol.Status = Budget
+	case sol.Found:
+		sol.Status = Optimal
+	default:
+		sol.Status = Infeasible
+	}
+	return sol, nil
+}
+
+// branch explores the subtree with the given fixings; returns true when the
+// node budget ran out.
+func branch(p *Problem, fixed []int, sol *Solution, maxNodes int) (bool, error) {
+	if sol.Nodes >= maxNodes {
+		return true, nil
+	}
+	sol.Nodes++
+
+	relax := &lp.Problem{NumVars: p.NumVars, Objective: p.Objective}
+	relax.Constraints = append(relax.Constraints, p.Constraints...)
+	for j := 0; j < p.NumVars; j++ {
+		coeffs := make([]float64, j+1)
+		coeffs[j] = 1
+		switch fixed[j] {
+		case -1:
+			relax.Constraints = append(relax.Constraints, lp.Constraint{Coeffs: coeffs, Op: lp.LE, RHS: 1})
+		default:
+			relax.Constraints = append(relax.Constraints, lp.Constraint{Coeffs: coeffs, Op: lp.EQ, RHS: float64(fixed[j])})
+		}
+	}
+	s, err := lp.Solve(relax)
+	if err != nil {
+		return false, err
+	}
+	if s.Status == lp.Infeasible {
+		return false, nil
+	}
+	if s.Status == lp.Unbounded {
+		// Binaries are boxed, so the relaxation is never unbounded.
+		return false, fmt.Errorf("ilp: internal error: boxed relaxation unbounded")
+	}
+	if sol.Found && s.Objective <= sol.Objective+1e-9 {
+		return false, nil // bound: cannot improve the incumbent
+	}
+	// Integral?
+	branchVar := -1
+	worstFrac := 0.0
+	for j := 0; j < p.NumVars; j++ {
+		f := math.Abs(s.X[j] - math.Round(s.X[j]))
+		if f > intTol && f > worstFrac {
+			worstFrac = f
+			branchVar = j
+		}
+	}
+	if branchVar < 0 {
+		obj := 0.0
+		x := make([]int, p.NumVars)
+		for j := 0; j < p.NumVars; j++ {
+			x[j] = int(math.Round(s.X[j]))
+			if j < len(p.Objective) {
+				obj += p.Objective[j] * float64(x[j])
+			}
+		}
+		if !sol.Found || obj > sol.Objective {
+			sol.Found = true
+			sol.Objective = obj
+			sol.X = x
+		}
+		return false, nil
+	}
+	first := int(math.Round(s.X[branchVar]))
+	for _, val := range []int{first, 1 - first} {
+		fixed[branchVar] = val
+		exhausted, err := branch(p, fixed, sol, maxNodes)
+		fixed[branchVar] = -1
+		if err != nil || exhausted {
+			return exhausted, err
+		}
+	}
+	return false, nil
+}

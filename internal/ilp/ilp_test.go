@@ -1,0 +1,167 @@
+package ilp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/chronus-sdn/chronus/internal/lp"
+)
+
+func solveOK(t *testing.T, p *Problem, opts Options) *Solution {
+	t.Helper()
+	s, err := Solve(p, opts)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return s
+}
+
+func TestKnapsack(t *testing.T) {
+	// max 10a + 6b + 4c s.t. a + b + c <= 2 (weights 1) -> a,b -> 16
+	p := &Problem{NumVars: 3, Objective: []float64{10, 6, 4}}
+	p.AddConstraint([]float64{1, 1, 1}, lp.LE, 2)
+	s := solveOK(t, p, Options{})
+	if s.Status != Optimal || s.Objective != 16 {
+		t.Fatalf("solution = %+v, want 16", s)
+	}
+	if s.X[0] != 1 || s.X[1] != 1 || s.X[2] != 0 {
+		t.Fatalf("X = %v", s.X)
+	}
+}
+
+func TestFractionalRelaxationForcedInteger(t *testing.T) {
+	// max 5a + 4b s.t. 2a + 2b <= 3: LP relax gives 1.5 items; ILP picks a.
+	p := &Problem{NumVars: 2, Objective: []float64{5, 4}}
+	p.AddConstraint([]float64{2, 2}, lp.LE, 3)
+	s := solveOK(t, p, Options{})
+	if s.Status != Optimal || s.Objective != 5 {
+		t.Fatalf("solution = %+v, want 5", s)
+	}
+}
+
+func TestInfeasibleILP(t *testing.T) {
+	p := &Problem{NumVars: 2, Objective: []float64{1, 1}}
+	p.AddConstraint([]float64{1, 1}, lp.GE, 3) // binaries cannot reach 3
+	s := solveOK(t, p, Options{})
+	if s.Status != Infeasible || s.Found {
+		t.Fatalf("solution = %+v, want infeasible", s)
+	}
+}
+
+func TestEqualityCoupling(t *testing.T) {
+	// a + b = 1 and a = b is infeasible over binaries.
+	p := &Problem{NumVars: 2, Objective: []float64{1, 0}}
+	p.AddConstraint([]float64{1, 1}, lp.EQ, 1)
+	p.AddConstraint([]float64{1, -1}, lp.EQ, 0)
+	s := solveOK(t, p, Options{})
+	if s.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestSetCover(t *testing.T) {
+	// Minimize sets covering {1,2,3}: sets {1,2}, {2,3}, {3}, {1}.
+	// Min cover = 2 ({1,2},{2,3}). Maximize negative cost.
+	p := &Problem{NumVars: 4, Objective: []float64{-1, -1, -1, -1}}
+	p.AddConstraint([]float64{1, 0, 0, 1}, lp.GE, 1) // element 1
+	p.AddConstraint([]float64{1, 1, 0, 0}, lp.GE, 1) // element 2
+	p.AddConstraint([]float64{0, 1, 1, 0}, lp.GE, 1) // element 3
+	s := solveOK(t, p, Options{})
+	if s.Status != Optimal || s.Objective != -2 {
+		t.Fatalf("solution = %+v, want -2", s)
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	// Uniform weights 2 with an odd budget force a fractional root
+	// relaxation, so a single node cannot prove optimality.
+	n := 12
+	p := &Problem{NumVars: n, Objective: make([]float64, n)}
+	coeffs := make([]float64, n)
+	for j := 0; j < n; j++ {
+		p.Objective[j] = 1
+		coeffs[j] = 2
+	}
+	p.AddConstraint(coeffs, lp.LE, 11)
+	s := solveOK(t, p, Options{MaxNodes: 1})
+	if s.Status != Budget {
+		t.Fatalf("status = %v, want budget", s.Status)
+	}
+}
+
+func TestMalformedILP(t *testing.T) {
+	if _, err := Solve(&Problem{NumVars: 0}, Options{}); err == nil {
+		t.Fatal("zero vars accepted")
+	}
+}
+
+// TestAgainstBruteForce: on small random programs, branch and bound matches
+// exhaustive enumeration exactly.
+func TestAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5) // up to 6 vars -> 64 assignments
+		m := 1 + rng.Intn(4)
+		p := &Problem{NumVars: n, Objective: make([]float64, n)}
+		for j := range p.Objective {
+			p.Objective[j] = math.Round(rng.Float64()*20 - 5)
+		}
+		for i := 0; i < m; i++ {
+			coeffs := make([]float64, n)
+			for j := range coeffs {
+				coeffs[j] = math.Round(rng.Float64() * 5)
+			}
+			ops := []lp.Op{lp.LE, lp.GE}
+			op := ops[rng.Intn(len(ops))]
+			rhs := math.Round(rng.Float64() * float64(n) * 2)
+			p.Constraints = append(p.Constraints, lp.Constraint{Coeffs: coeffs, Op: op, RHS: rhs})
+		}
+		got, err := Solve(p, Options{})
+		if err != nil {
+			return false
+		}
+		bestObj := math.Inf(-1)
+		found := false
+		for mask := 0; mask < 1<<n; mask++ {
+			feasible := true
+			for _, c := range p.Constraints {
+				lhs := 0.0
+				for j := 0; j < n; j++ {
+					if mask&(1<<j) != 0 {
+						lhs += c.Coeffs[j]
+					}
+				}
+				switch c.Op {
+				case lp.LE:
+					feasible = feasible && lhs <= c.RHS+1e-9
+				case lp.GE:
+					feasible = feasible && lhs >= c.RHS-1e-9
+				case lp.EQ:
+					feasible = feasible && math.Abs(lhs-c.RHS) < 1e-9
+				}
+			}
+			if !feasible {
+				continue
+			}
+			found = true
+			obj := 0.0
+			for j := 0; j < n; j++ {
+				if mask&(1<<j) != 0 {
+					obj += p.Objective[j]
+				}
+			}
+			if obj > bestObj {
+				bestObj = obj
+			}
+		}
+		if !found {
+			return got.Status == Infeasible
+		}
+		return got.Status == Optimal && math.Abs(got.Objective-bestObj) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,367 @@
+// Package lp implements a small dense linear-programming solver: a
+// two-phase primal simplex with Bland's anti-cycling rule. It is the
+// substrate for the 0/1 branch-and-bound solver in internal/ilp, which in
+// turn powers the OPT baseline (the paper solves the MUTP integer program
+// (3) and the order-replacement round minimization with branch and bound).
+//
+// The solver targets the small, dense programs produced by those encoders;
+// it makes no attempt at sparse or revised-simplex efficiency.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Op is a constraint relation.
+type Op int
+
+const (
+	// LE is <=.
+	LE Op = iota + 1
+	// GE is >=.
+	GE
+	// EQ is =.
+	EQ
+)
+
+func (o Op) String() string {
+	switch o {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Constraint is a linear constraint sum(Coeffs[i] * x[i]) Op RHS.
+// Coeffs may be shorter than the variable count; missing entries are zero.
+type Constraint struct {
+	Coeffs []float64
+	Op     Op
+	RHS    float64
+}
+
+// Problem is a linear program over x >= 0: maximize Objective · x subject
+// to Constraints.
+type Problem struct {
+	NumVars     int
+	Objective   []float64
+	Constraints []Constraint
+}
+
+// AddConstraint appends a constraint.
+func (p *Problem) AddConstraint(coeffs []float64, op Op, rhs float64) {
+	p.Constraints = append(p.Constraints, Constraint{Coeffs: coeffs, Op: op, RHS: rhs})
+}
+
+// Status classifies the outcome of Solve.
+type Status int
+
+const (
+	// Optimal means an optimal solution was found.
+	Optimal Status = iota + 1
+	// Infeasible means no point satisfies the constraints.
+	Infeasible
+	// Unbounded means the objective is unbounded above.
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Solution is the result of Solve.
+type Solution struct {
+	Status    Status
+	X         []float64
+	Objective float64
+}
+
+// ErrMalformed is returned for structurally invalid problems.
+var ErrMalformed = errors.New("lp: malformed problem")
+
+const eps = 1e-9
+
+// Solve runs two-phase primal simplex on the problem. Variables are
+// implicitly bounded below by zero; upper bounds must be expressed as
+// constraints.
+func Solve(p *Problem) (*Solution, error) {
+	if p.NumVars <= 0 {
+		return nil, fmt.Errorf("%w: NumVars=%d", ErrMalformed, p.NumVars)
+	}
+	if len(p.Objective) > p.NumVars {
+		return nil, fmt.Errorf("%w: objective has %d coefficients for %d variables", ErrMalformed, len(p.Objective), p.NumVars)
+	}
+	for i, c := range p.Constraints {
+		if len(c.Coeffs) > p.NumVars {
+			return nil, fmt.Errorf("%w: constraint %d has %d coefficients for %d variables", ErrMalformed, i, len(c.Coeffs), p.NumVars)
+		}
+		switch c.Op {
+		case LE, GE, EQ:
+		default:
+			return nil, fmt.Errorf("%w: constraint %d has invalid op", ErrMalformed, i)
+		}
+	}
+	t := newTableau(p)
+	if t.needPhase1 {
+		if !t.phase1() {
+			return &Solution{Status: Infeasible}, nil
+		}
+	}
+	status := t.phase2()
+	if status == Unbounded {
+		return &Solution{Status: Unbounded}, nil
+	}
+	x := t.extract()
+	obj := 0.0
+	for i, c := range p.Objective {
+		obj += c * x[i]
+	}
+	return &Solution{Status: Optimal, X: x, Objective: obj}, nil
+}
+
+// tableau is a dense simplex tableau in standard equality form
+// A x = b, x >= 0, with slack/surplus/artificial columns appended.
+type tableau struct {
+	m, n       int // rows, total columns (excluding RHS)
+	structural int // original variable count
+	a          [][]float64
+	b          []float64
+	basis      []int // basis[i] = column basic in row i
+	artStart   int   // first artificial column, or n if none
+	needPhase1 bool
+	obj        []float64 // phase-2 objective over all columns
+}
+
+func newTableau(p *Problem) *tableau {
+	m := len(p.Constraints)
+	// Count extra columns: one slack/surplus per inequality, one artificial
+	// per GE/EQ (and per LE with negative RHS after normalization).
+	t := &tableau{m: m, structural: p.NumVars}
+	type rowPlan struct {
+		slack int // +1 LE, -1 GE, 0 EQ (after sign normalization)
+		art   bool
+	}
+	plans := make([]rowPlan, m)
+	rows := make([][]float64, m)
+	b := make([]float64, m)
+	for i, c := range p.Constraints {
+		row := make([]float64, p.NumVars)
+		copy(row, c.Coeffs)
+		rhs := c.RHS
+		op := c.Op
+		if rhs < 0 {
+			for j := range row {
+				row[j] = -row[j]
+			}
+			rhs = -rhs
+			switch op {
+			case LE:
+				op = GE
+			case GE:
+				op = LE
+			}
+		}
+		rows[i] = row
+		b[i] = rhs
+		switch op {
+		case LE:
+			plans[i] = rowPlan{slack: +1}
+		case GE:
+			plans[i] = rowPlan{slack: -1, art: true}
+		case EQ:
+			plans[i] = rowPlan{art: true}
+		}
+	}
+	slackCount := 0
+	artCount := 0
+	for _, pl := range plans {
+		if pl.slack != 0 {
+			slackCount++
+		}
+		if pl.art {
+			artCount++
+		}
+	}
+	t.n = p.NumVars + slackCount + artCount
+	t.artStart = p.NumVars + slackCount
+	t.needPhase1 = artCount > 0
+	t.a = make([][]float64, m)
+	t.b = b
+	t.basis = make([]int, m)
+	slackCol := p.NumVars
+	artCol := t.artStart
+	for i := range rows {
+		full := make([]float64, t.n)
+		copy(full, rows[i])
+		if plans[i].slack != 0 {
+			full[slackCol] = float64(plans[i].slack)
+			if plans[i].slack > 0 {
+				t.basis[i] = slackCol
+			}
+			slackCol++
+		}
+		if plans[i].art {
+			full[artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		}
+		t.a[i] = full
+	}
+	t.obj = make([]float64, t.n)
+	copy(t.obj, p.Objective)
+	return t
+}
+
+// pivot performs a pivot on (row, col).
+func (t *tableau) pivot(row, col int) {
+	pr := t.a[row]
+	pv := pr[col]
+	for j := range pr {
+		pr[j] /= pv
+	}
+	t.b[row] /= pv
+	for i := range t.a {
+		if i == row {
+			continue
+		}
+		f := t.a[i][col]
+		if f == 0 {
+			continue
+		}
+		ri := t.a[i]
+		for j := range ri {
+			ri[j] -= f * pr[j]
+		}
+		t.b[i] -= f * t.b[row]
+	}
+	t.basis[row] = col
+}
+
+// simplex maximizes the given objective (as reduced costs computed on the
+// fly) over the current tableau using Bland's rule; cols limits the entering
+// columns considered. Returns false when unbounded.
+func (t *tableau) simplex(obj []float64, cols int) bool {
+	for iter := 0; ; iter++ {
+		// Reduced costs: c_j - c_B B^{-1} A_j. With the tableau kept in
+		// canonical form, compute z_j from the basis directly.
+		cb := make([]float64, t.m)
+		for i, bi := range t.basis {
+			if bi < len(obj) {
+				cb[i] = obj[bi]
+			}
+		}
+		enter := -1
+		for j := 0; j < cols; j++ {
+			if t.isBasic(j) {
+				continue
+			}
+			zj := 0.0
+			for i := 0; i < t.m; i++ {
+				zj += cb[i] * t.a[i][j]
+			}
+			cj := 0.0
+			if j < len(obj) {
+				cj = obj[j]
+			}
+			if cj-zj > eps {
+				enter = j // Bland: first improving column
+				break
+			}
+		}
+		if enter < 0 {
+			return true
+		}
+		leave := -1
+		best := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			if t.a[i][enter] > eps {
+				ratio := t.b[i] / t.a[i][enter]
+				if ratio < best-eps || (ratio < best+eps && (leave < 0 || t.basis[i] < t.basis[leave])) {
+					best = ratio
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return false // unbounded
+		}
+		t.pivot(leave, enter)
+	}
+}
+
+func (t *tableau) isBasic(col int) bool {
+	for _, b := range t.basis {
+		if b == col {
+			return true
+		}
+	}
+	return false
+}
+
+// phase1 drives artificial variables to zero; returns false if infeasible.
+func (t *tableau) phase1() bool {
+	obj := make([]float64, t.n)
+	for j := t.artStart; j < t.n; j++ {
+		obj[j] = -1
+	}
+	if !t.simplex(obj, t.n) {
+		return false
+	}
+	// Feasible iff the artificial sum is (near) zero.
+	sum := 0.0
+	for i, bi := range t.basis {
+		if bi >= t.artStart {
+			sum += t.b[i]
+		}
+	}
+	if sum > 1e-7 {
+		return false
+	}
+	// Pivot any remaining artificial basics out where possible.
+	for i, bi := range t.basis {
+		if bi < t.artStart {
+			continue
+		}
+		for j := 0; j < t.artStart; j++ {
+			if math.Abs(t.a[i][j]) > eps {
+				t.pivot(i, j)
+				break
+			}
+		}
+	}
+	return true
+}
+
+// phase2 maximizes the real objective over structural+slack columns.
+func (t *tableau) phase2() Status {
+	if !t.simplex(t.obj, t.artStart) {
+		return Unbounded
+	}
+	return Optimal
+}
+
+func (t *tableau) extract() []float64 {
+	x := make([]float64, t.structural)
+	for i, bi := range t.basis {
+		if bi < t.structural {
+			x[bi] = t.b[i]
+		}
+	}
+	return x
+}

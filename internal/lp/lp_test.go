@@ -1,0 +1,211 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func solveOK(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return s
+}
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestSimpleMax(t *testing.T) {
+	// max 3x + 2y s.t. x + y <= 4, x + 3y <= 6 -> x=4, y=0, obj=12
+	p := &Problem{NumVars: 2, Objective: []float64{3, 2}}
+	p.AddConstraint([]float64{1, 1}, LE, 4)
+	p.AddConstraint([]float64{1, 3}, LE, 6)
+	s := solveOK(t, p)
+	if s.Status != Optimal || !approx(s.Objective, 12) {
+		t.Fatalf("solution = %+v, want obj 12", s)
+	}
+}
+
+func TestClassicTwoVar(t *testing.T) {
+	// max 5x + 4y s.t. 6x + 4y <= 24, x + 2y <= 6 -> x=3, y=1.5, obj=21
+	p := &Problem{NumVars: 2, Objective: []float64{5, 4}}
+	p.AddConstraint([]float64{6, 4}, LE, 24)
+	p.AddConstraint([]float64{1, 2}, LE, 6)
+	s := solveOK(t, p)
+	if !approx(s.Objective, 21) || !approx(s.X[0], 3) || !approx(s.X[1], 1.5) {
+		t.Fatalf("solution = %+v, want x=3 y=1.5 obj=21", s)
+	}
+}
+
+func TestGEAndEQConstraints(t *testing.T) {
+	// max x + y s.t. x + y <= 10, x >= 2, y = 3 -> x=7, y=3, obj=10
+	p := &Problem{NumVars: 2, Objective: []float64{1, 1}}
+	p.AddConstraint([]float64{1, 1}, LE, 10)
+	p.AddConstraint([]float64{1, 0}, GE, 2)
+	p.AddConstraint([]float64{0, 1}, EQ, 3)
+	s := solveOK(t, p)
+	if s.Status != Optimal || !approx(s.Objective, 10) || !approx(s.X[1], 3) {
+		t.Fatalf("solution = %+v", s)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := &Problem{NumVars: 1, Objective: []float64{1}}
+	p.AddConstraint([]float64{1}, LE, 1)
+	p.AddConstraint([]float64{1}, GE, 2)
+	s := solveOK(t, p)
+	if s.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := &Problem{NumVars: 2, Objective: []float64{1, 0}}
+	p.AddConstraint([]float64{0, 1}, LE, 5)
+	s := solveOK(t, p)
+	if s.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestNegativeRHSNormalization(t *testing.T) {
+	// x - y <= -1 with x,y>=0 means y >= x + 1; max x + y with y <= 5.
+	p := &Problem{NumVars: 2, Objective: []float64{1, 1}}
+	p.AddConstraint([]float64{1, -1}, LE, -1)
+	p.AddConstraint([]float64{0, 1}, LE, 5)
+	s := solveOK(t, p)
+	if s.Status != Optimal || !approx(s.Objective, 9) { // x=4, y=5
+		t.Fatalf("solution = %+v, want obj 9", s)
+	}
+}
+
+func TestEqualityOnly(t *testing.T) {
+	// max x s.t. x + y = 4, x - y = 2 -> x=3, y=1
+	p := &Problem{NumVars: 2, Objective: []float64{1, 0}}
+	p.AddConstraint([]float64{1, 1}, EQ, 4)
+	p.AddConstraint([]float64{1, -1}, EQ, 2)
+	s := solveOK(t, p)
+	if !approx(s.X[0], 3) || !approx(s.X[1], 1) {
+		t.Fatalf("solution = %+v, want x=3 y=1", s)
+	}
+}
+
+func TestDegeneratePivoting(t *testing.T) {
+	// A classic degenerate instance (Beale-like); Bland's rule must not
+	// cycle.
+	p := &Problem{NumVars: 4, Objective: []float64{0.75, -150, 0.02, -6}}
+	p.AddConstraint([]float64{0.25, -60, -0.04, 9}, LE, 0)
+	p.AddConstraint([]float64{0.5, -90, -0.02, 3}, LE, 0)
+	p.AddConstraint([]float64{0, 0, 1, 0}, LE, 1)
+	s := solveOK(t, p)
+	if s.Status != Optimal || !approx(s.Objective, 0.05) {
+		t.Fatalf("solution = %+v, want obj 0.05", s)
+	}
+}
+
+func TestMalformed(t *testing.T) {
+	if _, err := Solve(&Problem{NumVars: 0}); err == nil {
+		t.Fatal("zero vars accepted")
+	}
+	p := &Problem{NumVars: 1, Objective: []float64{1, 2}}
+	if _, err := Solve(p); err == nil {
+		t.Fatal("oversized objective accepted")
+	}
+	p = &Problem{NumVars: 2}
+	p.Constraints = append(p.Constraints, Constraint{Coeffs: []float64{1}, Op: Op(9), RHS: 1})
+	if _, err := Solve(p); err == nil {
+		t.Fatal("invalid op accepted")
+	}
+}
+
+func TestShortCoefficientVectors(t *testing.T) {
+	// Missing trailing coefficients are zero.
+	p := &Problem{NumVars: 3, Objective: []float64{1}}
+	p.AddConstraint([]float64{1}, LE, 7)
+	s := solveOK(t, p)
+	if !approx(s.Objective, 7) {
+		t.Fatalf("obj = %f, want 7", s.Objective)
+	}
+}
+
+// TestSolutionsSatisfyConstraints: on random feasible bounded programs, the
+// reported optimum satisfies every constraint.
+func TestSolutionsSatisfyConstraints(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		m := 2 + rng.Intn(5)
+		p := &Problem{NumVars: n, Objective: make([]float64, n)}
+		for j := range p.Objective {
+			p.Objective[j] = rng.Float64()*4 - 1
+		}
+		for i := 0; i < m; i++ {
+			coeffs := make([]float64, n)
+			for j := range coeffs {
+				coeffs[j] = rng.Float64() * 3 // nonnegative rows keep it bounded-ish
+			}
+			p.AddConstraint(coeffs, LE, 1+rng.Float64()*10)
+		}
+		// Box to guarantee boundedness.
+		for j := 0; j < n; j++ {
+			coeffs := make([]float64, n)
+			coeffs[j] = 1
+			p.AddConstraint(coeffs, LE, 50)
+		}
+		s, err := Solve(p)
+		if err != nil || s.Status != Optimal {
+			return false
+		}
+		for _, c := range p.Constraints {
+			lhs := 0.0
+			for j, co := range c.Coeffs {
+				lhs += co * s.X[j]
+			}
+			if lhs > c.RHS+1e-6 {
+				return false
+			}
+		}
+		for _, x := range s.X {
+			if x < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestObjectiveIsOptimalOnBoxes: for per-variable box constraints the
+// optimum is analytic; the solver must match it.
+func TestObjectiveIsOptimalOnBoxes(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		p := &Problem{NumVars: n, Objective: make([]float64, n)}
+		want := 0.0
+		for j := 0; j < n; j++ {
+			c := rng.Float64()*6 - 3
+			ub := rng.Float64() * 10
+			p.Objective[j] = c
+			coeffs := make([]float64, n)
+			coeffs[j] = 1
+			p.AddConstraint(coeffs, LE, ub)
+			if c > 0 {
+				want += c * ub
+			}
+		}
+		s, err := Solve(p)
+		if err != nil || s.Status != Optimal {
+			return false
+		}
+		return math.Abs(s.Objective-want) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

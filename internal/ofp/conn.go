@@ -1,0 +1,48 @@
+package ofp
+
+import (
+	"bufio"
+	"io"
+	"net"
+	"sync"
+)
+
+// Conn is a message-oriented view of a stream transport.
+type Conn struct {
+	rw     io.ReadWriteCloser
+	br     *bufio.Reader
+	sendMu sync.Mutex
+}
+
+// NewConn wraps a stream (typically a net.Conn) with the codec. Reads are
+// buffered; writes are whole-message and serialized, so Send is safe for
+// concurrent use. Recv must be called from a single goroutine.
+func NewConn(rw io.ReadWriteCloser) *Conn {
+	return &Conn{rw: rw, br: bufio.NewReader(rw)}
+}
+
+// Dial connects to a controller or switch agent over TCP.
+func Dial(addr string) (*Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewConn(c), nil
+}
+
+// Send encodes and writes one message.
+func (c *Conn) Send(m Msg) error {
+	buf := Encode(m)
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	_, err := c.rw.Write(buf)
+	return err
+}
+
+// Recv reads and decodes one message.
+func (c *Conn) Recv() (Msg, error) {
+	return Decode(c.br)
+}
+
+// Close closes the transport.
+func (c *Conn) Close() error { return c.rw.Close() }

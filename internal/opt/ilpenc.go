@@ -1,0 +1,241 @@
+package opt
+
+import (
+	"fmt"
+
+	"github.com/chronus-sdn/chronus/internal/dynflow"
+	"github.com/chronus-sdn/chronus/internal/graph"
+	"github.com/chronus-sdn/chronus/internal/ilp"
+	"github.com/chronus-sdn/chronus/internal/lp"
+)
+
+// ILPOptions configures SolveILP.
+type ILPOptions struct {
+	// Start is t0.
+	Start dynflow.Tick
+	// MaxMakespan caps the horizon scanned (0 = a drain-derived bound).
+	MaxMakespan dynflow.Tick
+	// MaxNodes is the branch-and-bound budget per horizon (0 = 20000).
+	MaxNodes int
+	// MaxPathsPerEmission caps path enumeration (0 = 64).
+	MaxPathsPerEmission int
+}
+
+// SolveILP solves MUTP through a literal encoding of the paper's integer
+// program (3): for every emission tick one loop-free time-extended path is
+// selected (variables x_{f,p}), link-instance capacities bound the summed
+// demand (constraint (3a)), and each flow picks exactly one path (3b).
+//
+// The paper's formulation leaves the coupling between path choices and a
+// single per-switch update time implicit; we make it explicit with binaries
+// y_{v,k} ("switch v activates its new rule at tick Start+k", exactly one k
+// per switch) and linking constraints: a path whose hop uses v's old rule at
+// arrival a forbids every y_{v,k} with k <= a−Start, and a hop using the new
+// rule requires one of them. The minimum |T| objective becomes a scan over
+// horizons (smallest feasible horizon wins), mirroring the paper's
+// time-step-by-time-step extension of G_T.
+//
+// Path enumeration is exponential; this entry point exists to cross-check
+// Exact on small instances and to document the formulation faithfully.
+func SolveILP(in *dynflow.Instance, opts ILPOptions) (*Result, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	maxM := opts.MaxMakespan
+	if maxM == 0 {
+		maxM = dynflow.Tick(in.Init.Delay(in.G) + in.Fin.Delay(in.G) + graph.Delay(len(in.UpdateSet())))
+	}
+	maxNodes := opts.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = 20000
+	}
+	maxPaths := opts.MaxPathsPerEmission
+	if maxPaths <= 0 {
+		maxPaths = 64
+	}
+	totalNodes := 0
+	for m := dynflow.Tick(0); m <= maxM; m++ {
+		sched, nodes, status, err := solveHorizon(in, opts.Start, m, maxNodes, maxPaths)
+		totalNodes += nodes
+		if err != nil {
+			return nil, err
+		}
+		switch status {
+		case ilp.Optimal:
+			if sched != nil {
+				return &Result{Status: StatusOptimal, Schedule: sched, Nodes: totalNodes}, nil
+			}
+		case ilp.Budget:
+			return &Result{Status: StatusBudget, Nodes: totalNodes}, nil
+		}
+	}
+	return &Result{Status: StatusInfeasible, Nodes: totalNodes}, nil
+}
+
+// solveHorizon builds and solves the program for makespan exactly <= m.
+func solveHorizon(in *dynflow.Instance, start, m dynflow.Tick, maxNodes, maxPaths int) (*dynflow.Schedule, int, ilp.Status, error) {
+	updates := in.UpdateSet()
+	phiInit := dynflow.Tick(in.Init.Delay(in.G))
+	phiFin := dynflow.Tick(in.Fin.Delay(in.G))
+	// Emission window as in the validator: in-flight history plus the tail
+	// that can still collide with mixed traces.
+	emitLo := start - phiInit
+	emitHi := start + m + phiInit + phiFin
+	tenHi := emitHi + phiInit + phiFin + dynflow.Tick(in.G.NumNodes())
+	ten := dynflow.Expand(in.G, emitLo, tenHi)
+
+	// Variable layout: y_{v,k} first, then x_{e,p}.
+	type yKey struct {
+		v graph.NodeID
+		k dynflow.Tick
+	}
+	yIdx := make(map[yKey]int)
+	var nVars int
+	for _, v := range updates {
+		for k := dynflow.Tick(0); k <= m; k++ {
+			yIdx[yKey{v, k}] = nVars
+			nVars++
+		}
+	}
+
+	type pathVar struct {
+		emit dynflow.Tick
+		path []dynflow.TELink
+		idx  int
+	}
+	var pvars []pathVar
+	for e := emitLo; e <= emitHi; e++ {
+		paths := ten.EnumeratePaths(in.Source(), in.Dest(), e, maxPaths)
+		if len(paths) == 0 {
+			return nil, 0, ilp.Infeasible, nil
+		}
+		for _, p := range paths {
+			pvars = append(pvars, pathVar{emit: e, path: p, idx: nVars})
+			nVars++
+		}
+	}
+
+	prob := &ilp.Problem{NumVars: nVars, Objective: make([]float64, nVars)}
+	// Feasibility problem: reward early activation slightly so the solver
+	// prefers compact schedules among the feasible ones.
+	for key, idx := range yIdx {
+		prob.Objective[idx] = -float64(key.k) * 0.001
+	}
+
+	// Exactly one activation tick per switch.
+	for _, v := range updates {
+		coeffs := make([]float64, nVars)
+		for k := dynflow.Tick(0); k <= m; k++ {
+			coeffs[yIdx[yKey{v, k}]] = 1
+		}
+		prob.AddConstraint(coeffs, lp.EQ, 1)
+	}
+	// Exactly one path per emission (3b).
+	byEmit := make(map[dynflow.Tick][]pathVar)
+	for _, pv := range pvars {
+		byEmit[pv.emit] = append(byEmit[pv.emit], pv)
+	}
+	for e := emitLo; e <= emitHi; e++ {
+		coeffs := make([]float64, nVars)
+		for _, pv := range byEmit[e] {
+			coeffs[pv.idx] = 1
+		}
+		prob.AddConstraint(coeffs, lp.EQ, 1)
+	}
+	// Capacity per time-extended link instance (3a).
+	use := make(map[dynflow.LinkInstance][]int)
+	for _, pv := range pvars {
+		for _, l := range pv.path {
+			use[l.Instance()] = append(use[l.Instance()], pv.idx)
+		}
+	}
+	for li, idxs := range use {
+		l, ok := in.G.Link(li.From, li.To)
+		if !ok {
+			continue
+		}
+		coeffs := make([]float64, nVars)
+		for _, idx := range idxs {
+			coeffs[idx] = float64(in.Demand)
+		}
+		prob.AddConstraint(coeffs, lp.LE, float64(l.Cap))
+	}
+	// Consistency linking: path hops must agree with activation times.
+	updSet := make(map[graph.NodeID]bool, len(updates))
+	for _, v := range updates {
+		updSet[v] = true
+	}
+	for _, pv := range pvars {
+		consistent := true
+		for _, hop := range pv.path {
+			v := hop.From.V
+			arr := hop.From.T // decision is taken when the unit is at v
+			oldNext := in.OldNext(v)
+			newNext := in.NewNext(v)
+			switch hop.To.V {
+			case newNext:
+				if oldNext == newNext {
+					continue // rule unchanged; always consistent
+				}
+				if !updSet[v] {
+					consistent = false
+					break
+				}
+				// Requires activation by arr: x <= sum_{k <= arr-start} y.
+				coeffs := make([]float64, nVars)
+				coeffs[pv.idx] = -1
+				feasibleK := false
+				for k := dynflow.Tick(0); k <= m; k++ {
+					if start+k <= arr {
+						coeffs[yIdx[yKey{v, k}]] = 1
+						feasibleK = true
+					}
+				}
+				if !feasibleK {
+					consistent = false
+					break
+				}
+				prob.AddConstraint(coeffs, lp.GE, 0)
+			case oldNext:
+				if !updSet[v] {
+					continue // never flips; old rule always valid
+				}
+				// Requires activation after arr: x + y_{v,k} <= 1 for k <= arr-start.
+				for k := dynflow.Tick(0); k <= m; k++ {
+					if start+k <= arr {
+						coeffs := make([]float64, nVars)
+						coeffs[pv.idx] = 1
+						coeffs[yIdx[yKey{v, k}]] = 1
+						prob.AddConstraint(coeffs, lp.LE, 1)
+					}
+				}
+			default:
+				// Hop follows neither rule: the path is unrealizable.
+				consistent = false
+			}
+			if !consistent {
+				break
+			}
+		}
+		if !consistent {
+			coeffs := make([]float64, nVars)
+			coeffs[pv.idx] = 1
+			prob.AddConstraint(coeffs, lp.EQ, 0)
+		}
+	}
+
+	sol, err := ilp.Solve(prob, ilp.Options{MaxNodes: maxNodes})
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("opt: ilp horizon %d: %w", m, err)
+	}
+	if sol.Status != ilp.Optimal || !sol.Found {
+		return nil, sol.Nodes, sol.Status, nil
+	}
+	sched := dynflow.NewSchedule(start)
+	for key, idx := range yIdx {
+		if sol.X[idx] == 1 {
+			sched.Set(key.v, start+key.k)
+		}
+	}
+	return sched, sol.Nodes, ilp.Optimal, nil
+}

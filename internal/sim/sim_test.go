@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOrdering(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	k.At(5, func() { got = append(got, 2) })
+	k.At(3, func() { got = append(got, 1) })
+	k.At(9, func() { got = append(got, 3) })
+	k.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order = %v", got)
+	}
+	if k.Now() != 9 {
+		t.Fatalf("now = %d, want 9", k.Now())
+	}
+}
+
+func TestFIFOWithinSameTime(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(7, func() { got = append(got, i) })
+	}
+	k.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events reordered: %v", got)
+		}
+	}
+}
+
+func TestAfterAndNesting(t *testing.T) {
+	k := NewKernel()
+	var fired []Time
+	k.At(2, func() {
+		fired = append(fired, k.Now())
+		k.After(3, func() { fired = append(fired, k.Now()) })
+	})
+	k.Run()
+	if len(fired) != 2 || fired[0] != 2 || fired[1] != 5 {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	k := NewKernel()
+	k.At(5, func() {})
+	k.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for past scheduling")
+		}
+	}()
+	k.At(1, func() {})
+}
+
+func TestNegativeAfterPanics(t *testing.T) {
+	k := NewKernel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for negative delay")
+		}
+	}()
+	k.After(-1, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	k := NewKernel()
+	var fired []Time
+	for _, at := range []Time{1, 4, 8} {
+		at := at
+		k.At(at, func() { fired = append(fired, at) })
+	}
+	k.RunUntil(5)
+	if len(fired) != 2 {
+		t.Fatalf("fired = %v, want events at 1 and 4", fired)
+	}
+	if k.Now() != 5 {
+		t.Fatalf("now = %d, want 5", k.Now())
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", k.Pending())
+	}
+	k.Run()
+	if len(fired) != 3 || k.Now() != 8 {
+		t.Fatalf("fired = %v now = %d", fired, k.Now())
+	}
+}
+
+// TestClockMonotonic: under random event insertion, execution times are
+// non-decreasing.
+func TestClockMonotonic(t *testing.T) {
+	f := func(delays []uint8) bool {
+		k := NewKernel()
+		var times []Time
+		for _, d := range delays {
+			d := Time(d)
+			k.At(d, func() {
+				times = append(times, k.Now())
+				if d%3 == 0 {
+					k.After(Time(d%5), func() { times = append(times, k.Now()) })
+				}
+			})
+		}
+		k.Run()
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

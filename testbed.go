@@ -1,0 +1,51 @@
+package chronus
+
+import (
+	"github.com/chronus-sdn/chronus/internal/controller"
+	"github.com/chronus-sdn/chronus/internal/emu"
+	"github.com/chronus-sdn/chronus/internal/sim"
+	"github.com/chronus-sdn/chronus/internal/timesync"
+)
+
+// Emulation and control-plane types, re-exported for building testbeds on
+// the public API (see examples/maintenance and cmd/chronusd).
+type (
+	// Testbed couples the deterministic emulated data plane with its
+	// simulation kernel; all access is serialized through it.
+	Testbed = controller.Harness
+	// Controller speaks the ofp control protocol to switch agents and
+	// executes update plans (timed, barrier-paced, two-phase).
+	Controller = controller.Controller
+	// ControllerOptions configures control-channel latency and timeouts.
+	ControllerOptions = controller.Options
+	// FlowSpec names a traffic aggregate to provision on the testbed.
+	FlowSpec = controller.FlowSpec
+	// Sample is one bandwidth measurement from the stats poller.
+	Sample = controller.Sample
+	// Rate is an emulated traffic rate.
+	Rate = emu.Rate
+	// SimTime is virtual emulator time (one tick = one millisecond).
+	SimTime = sim.Time
+	// ClockEnsemble models the per-switch synchronized clocks of a timed
+	// SDN, with configurable sync error and drift.
+	ClockEnsemble = timesync.Ensemble
+	// ClockParams configures a ClockEnsemble.
+	ClockParams = timesync.Params
+)
+
+// NewTestbed builds an emulated data plane for the topology.
+func NewTestbed(g *Network) *Testbed { return controller.NewHarness(g) }
+
+// NewController attaches a controller to the testbed.
+func NewController(h *Testbed, o ControllerOptions) *Controller {
+	return controller.New(h, o)
+}
+
+// NewClockEnsemble builds the per-switch clock model; DefaultClockParams
+// corresponds to PTP-grade synchronization (~1 µs error).
+func NewClockEnsemble(p ClockParams, nodes []NodeID) *ClockEnsemble {
+	return timesync.New(p, nodes)
+}
+
+// DefaultClockParams returns PTP-grade clock parameters.
+func DefaultClockParams(seed int64) ClockParams { return timesync.DefaultParams(seed) }
