@@ -11,7 +11,9 @@
 package chronus_test
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	chronus "github.com/chronus-sdn/chronus"
@@ -169,6 +171,57 @@ func BenchmarkAblationExecutionMode(b *testing.B) {
 	}
 	b.ReportMetric(timed, "timed_update_ticks")
 	b.ReportMetric(paced, "barrier_paced_ticks")
+}
+
+// Parallel-harness variants: the heaviest generators at procs=1 (the
+// serial reference path) versus procs=GOMAXPROCS, for measuring the
+// fan-out speedup. The rendered tables are byte-identical either way (see
+// the determinism tests in internal/expt); only wall-clock changes.
+
+func benchWithProcs(b *testing.B, gen func(cfg expt.Config) error) {
+	variants := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		variants = append(variants, n)
+	}
+	for _, procs := range variants {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			cfg := expt.Quick(benchSeed)
+			cfg.Procs = procs
+			for i := 0; i < b.N; i++ {
+				if err := gen(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkParallelEvaluateQuality(b *testing.B) {
+	benchWithProcs(b, func(cfg expt.Config) error {
+		_, _, err := expt.EvaluateQuality(cfg)
+		return err
+	})
+}
+
+func BenchmarkParallelFig9RuleOverhead(b *testing.B) {
+	benchWithProcs(b, func(cfg expt.Config) error {
+		_, err := expt.Fig9RuleOverhead(cfg)
+		return err
+	})
+}
+
+func BenchmarkParallelFig11UpdateTimeCDF(b *testing.B) {
+	benchWithProcs(b, func(cfg expt.Config) error {
+		_, err := expt.Fig11UpdateTimeCDF(cfg)
+		return err
+	})
+}
+
+func BenchmarkParallelAblationClockSkew(b *testing.B) {
+	benchWithProcs(b, func(cfg expt.Config) error {
+		_, err := expt.AblationClockSkew(cfg)
+		return err
+	})
 }
 
 // Micro-benchmarks for the core engines.

@@ -8,6 +8,14 @@
 //	experiments -quick          # reduced scale (seconds instead of minutes)
 //	experiments -run fig7,fig8  # subset
 //	experiments -csv out/       # also write CSV files
+//	experiments -procs 1        # serial reference path (default: all CPUs)
+//
+// The harness fans its independent per-(size, run) tasks out over -procs
+// workers; each task derives its own seeded RNG and results merge in a
+// fixed order, so for a given -seed the tables and CSVs are byte-identical
+// at every -procs value (wall-clock columns aside). Use -procs 1 when the
+// timing columns of fig10 and the acceptance-mode ablation should be
+// measured without contention.
 package main
 
 import (
@@ -16,6 +24,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -36,6 +45,7 @@ func run(args []string, w io.Writer) error {
 	seed := fs.Int64("seed", 1, "experiment seed")
 	runList := fs.String("run", "all", "comma-separated subset: tab2,fig6,fig7,fig8,fig9,fig10,fig11,ablations")
 	csvDir := fs.String("csv", "", "directory to also write CSV tables into")
+	procs := fs.Int("procs", runtime.GOMAXPROCS(0), "parallel experiment workers; 1 reproduces the serial path byte for byte")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -43,6 +53,7 @@ func run(args []string, w io.Writer) error {
 	if *quick {
 		cfg = expt.Quick(*seed)
 	}
+	cfg.Procs = *procs
 	want := map[string]bool{}
 	for _, k := range strings.Split(*runList, ",") {
 		want[strings.TrimSpace(k)] = true

@@ -36,3 +36,39 @@ func TestRunBadFlags(t *testing.T) {
 		t.Fatal("bad flag accepted")
 	}
 }
+
+// The acceptance bar of the parallel harness: for a fixed seed, -procs 1
+// and -procs 8 must write byte-identical CSVs. Wall-clock tables (fig10,
+// the acceptance-mode ablation) are covered by the determinism tests in
+// internal/expt, which compare their deterministic columns.
+func TestRunProcsByteIdenticalCSVs(t *testing.T) {
+	figs := "fig6,fig7,fig8,fig9,fig11"
+	serialDir, parallelDir := t.TempDir(), t.TempDir()
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "-seed", "7", "-procs", "1", "-run", figs, "-csv", serialDir}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-quick", "-seed", "7", "-procs", "8", "-run", figs, "-csv", parallelDir}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	names, err := os.ReadDir(serialDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) == 0 {
+		t.Fatal("no CSVs written")
+	}
+	for _, e := range names {
+		serial, err := os.ReadFile(filepath.Join(serialDir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel, err := os.ReadFile(filepath.Join(parallelDir, e.Name()))
+		if err != nil {
+			t.Fatalf("missing parallel CSV %s: %v", e.Name(), err)
+		}
+		if !bytes.Equal(serial, parallel) {
+			t.Errorf("%s differs between -procs 1 and -procs 8:\n--- procs=1:\n%s\n--- procs=8:\n%s", e.Name(), serial, parallel)
+		}
+	}
+}

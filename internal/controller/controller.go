@@ -88,6 +88,10 @@ type Options struct {
 	// ReplyTimeout bounds real-time waiting for replies (default 5 s);
 	// it matters only for TCP sessions and broken tests.
 	ReplyTimeout time.Duration
+	// OnDisconnect, when set, is called (from the session's reader
+	// goroutine) after a connected session drops and has been detached;
+	// err is the read error that ended the session.
+	OnDisconnect func(id graph.NodeID, err error)
 }
 
 // Controller manages sessions and executes update plans.
@@ -108,6 +112,8 @@ type Controller struct {
 	packetIns []*ofp.PacketIn
 	nextXID   uint32
 	notify    chan struct{}
+	// disconnects counts sessions detached because their transport died.
+	disconnects int
 }
 
 // New builds a controller on the harness.
@@ -167,6 +173,50 @@ func (c *Controller) AttachSession(id graph.NodeID, s Session) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.sessions[id] = s
+}
+
+// Detach removes the session for id, if any; subsequent sends to id fail
+// with ErrNoSession rather than blocking on a dead transport.
+func (c *Controller) Detach(id graph.NodeID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.sessions, id)
+}
+
+// Disconnects reports how many attached sessions have been detached
+// because their transport failed (see sessionClosed).
+func (c *Controller) Disconnects() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.disconnects
+}
+
+// sessionClosed detaches a dead session: called by a session's reader
+// goroutine when its transport errors out. The registered session is
+// removed only if it still is s — a reconnect may already have attached a
+// replacement, which must survive the old reader's exit. The disconnect is
+// surfaced through the Disconnects counter and Options.OnDisconnect so
+// executors and operators learn the switch is gone instead of barriering
+// against it forever.
+func (c *Controller) sessionClosed(id graph.NodeID, s Session, err error) {
+	c.mu.Lock()
+	if cur, ok := c.sessions[id]; !ok || cur != s {
+		c.mu.Unlock()
+		return
+	}
+	delete(c.sessions, id)
+	c.disconnects++
+	cb := c.opts.OnDisconnect
+	c.mu.Unlock()
+	if cb != nil {
+		cb(id, err)
+	}
+	// Wake any await() so it re-checks instead of sleeping out its timeout
+	// against replies that can no longer arrive.
+	select {
+	case c.notify <- struct{}{}:
+	default:
+	}
 }
 
 // RecordReply stores a reply arriving from any session and wakes waiters.

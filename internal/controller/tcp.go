@@ -1,11 +1,22 @@
 package controller
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/chronus-sdn/chronus/internal/graph"
 	"github.com/chronus-sdn/chronus/internal/ofp"
 )
+
+// ErrHandshake is returned when the hello/features exchange goes off
+// script (wrong message type where a Hello or FeaturesReply was due).
+var ErrHandshake = errors.New("controller: handshake failed")
+
+// ErrTimedUpdatesUnsupported is returned when a switch's FeaturesReply
+// does not advertise the Time4 timed-update capability Chronus schedules
+// against; attaching such a switch would silently miss every timed
+// FlowMod, so the attach is refused instead.
+var ErrTimedUpdatesUnsupported = errors.New("controller: switch does not support timed updates")
 
 // tcpSession sends messages over a real stream connection; a background
 // reader feeds replies into the controller. Ordering and asynchrony are
@@ -19,30 +30,43 @@ func (s *tcpSession) Send(m ofp.Msg) error { return s.conn.Send(m) }
 // AttachTCP registers a switch reachable over conn and starts the reply
 // reader, which runs until the connection closes. It performs the OpenFlow
 // hello exchange and a features check (the switch must support timed
-// updates), returning the switch's announced name.
+// updates), returning the switch's announced name. When the reader later
+// exits on a connection error the session is detached again and the
+// disconnect surfaced through Disconnects and Options.OnDisconnect, so
+// executors fail fast with ErrNoSession instead of barriering forever
+// against a gone switch.
 func (c *Controller) AttachTCP(id graph.NodeID, conn *ofp.Conn) (string, error) {
 	if err := conn.Send(&ofp.Hello{XID: 0}); err != nil {
-		return "", err
-	}
-	if _, err := conn.Recv(); err != nil { // peer hello
-		return "", err
-	}
-	if err := conn.Send(&ofp.FeaturesRequest{XID: 1}); err != nil {
 		return "", err
 	}
 	m, err := conn.Recv()
 	if err != nil {
 		return "", err
 	}
+	if _, ok := m.(*ofp.Hello); !ok {
+		return "", fmt.Errorf("%w: expected hello, got %v", ErrHandshake, m.Type())
+	}
+	if err := conn.Send(&ofp.FeaturesRequest{XID: 1}); err != nil {
+		return "", err
+	}
+	m, err = conn.Recv()
+	if err != nil {
+		return "", err
+	}
 	feats, ok := m.(*ofp.FeaturesReply)
 	if !ok {
-		return "", fmt.Errorf("controller: unexpected handshake reply %v", m.Type())
+		return "", fmt.Errorf("%w: expected features reply, got %v", ErrHandshake, m.Type())
 	}
-	c.AttachSession(id, &tcpSession{conn: conn})
+	if !feats.TimedUpdates {
+		return "", fmt.Errorf("%w: %q (datapath %d)", ErrTimedUpdatesUnsupported, feats.Name, feats.DatapathID)
+	}
+	s := &tcpSession{conn: conn}
+	c.AttachSession(id, s)
 	go func() {
 		for {
 			m, err := conn.Recv()
 			if err != nil {
+				c.sessionClosed(id, s, err)
 				return
 			}
 			c.RecordReply(m)

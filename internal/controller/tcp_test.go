@@ -1,8 +1,10 @@
 package controller
 
 import (
+	"errors"
 	"net"
 	"testing"
+	"time"
 
 	"github.com/chronus-sdn/chronus/internal/dynflow"
 	"github.com/chronus-sdn/chronus/internal/graph"
@@ -94,5 +96,136 @@ func TestEndToEndOverTCP(t *testing.T) {
 		if smp.Rate < 0.5 || smp.Rate > 1.5 {
 			t.Fatalf("sample = %+v, want ~1", smp)
 		}
+	}
+}
+
+// fakePeer runs a scripted switch end of the handshake on the far side of
+// a net.Pipe and returns the controller-side ofp.Conn.
+func fakePeer(t *testing.T, script func(pc *ofp.Conn)) *ofp.Conn {
+	t.Helper()
+	cli, srv := net.Pipe()
+	t.Cleanup(func() { cli.Close(); srv.Close() })
+	pc := ofp.NewConn(srv)
+	go script(pc)
+	return ofp.NewConn(cli)
+}
+
+func newTCPTestController(t *testing.T) (*Controller, graph.NodeID) {
+	t.Helper()
+	in := topo.Fig1Example()
+	h := NewHarness(in.G)
+	return New(h, Options{Seed: 1}), in.G.Nodes()[0]
+}
+
+// A switch that does not advertise the Time4 timed-update capability
+// would silently miss every scheduled FlowMod; AttachTCP must refuse it.
+func TestAttachTCPRejectsUntimedSwitch(t *testing.T) {
+	c, id := newTCPTestController(t)
+	conn := fakePeer(t, func(pc *ofp.Conn) {
+		m, _ := pc.Recv()
+		pc.Send(&ofp.Hello{XID: m.Xid()})
+		m, _ = pc.Recv()
+		pc.Send(&ofp.FeaturesReply{XID: m.Xid(), Name: "legacy", TimedUpdates: false})
+	})
+	_, err := c.AttachTCP(id, conn)
+	if !errors.Is(err, ErrTimedUpdatesUnsupported) {
+		t.Fatalf("err = %v, want ErrTimedUpdatesUnsupported", err)
+	}
+	if err := c.Barrier(id); !errors.Is(err, ErrNoSession) {
+		t.Fatalf("rejected switch was attached anyway: Barrier err = %v", err)
+	}
+}
+
+// The first reply of the handshake must be the peer's Hello; anything else
+// (here an EchoReply) fails the attach instead of being swallowed.
+func TestAttachTCPRejectsNonHello(t *testing.T) {
+	c, id := newTCPTestController(t)
+	conn := fakePeer(t, func(pc *ofp.Conn) {
+		m, _ := pc.Recv()
+		pc.Send(&ofp.EchoReply{XID: m.Xid(), Payload: "not a hello"})
+	})
+	_, err := c.AttachTCP(id, conn)
+	if !errors.Is(err, ErrHandshake) {
+		t.Fatalf("err = %v, want ErrHandshake", err)
+	}
+	if err := c.Barrier(id); !errors.Is(err, ErrNoSession) {
+		t.Fatalf("switch attached after broken handshake: Barrier err = %v", err)
+	}
+}
+
+// When the transport dies after a successful attach, the reply reader must
+// detach the session (so executors fail fast with ErrNoSession) and
+// surface the disconnect through the counter and callback.
+func TestAttachTCPDetachesOnDisconnect(t *testing.T) {
+	in := topo.Fig1Example()
+	h := NewHarness(in.G)
+	gone := make(chan graph.NodeID, 1)
+	c := New(h, Options{Seed: 1, OnDisconnect: func(id graph.NodeID, err error) {
+		gone <- id
+	}})
+	id := in.G.Nodes()[0]
+
+	cli, srv := net.Pipe()
+	t.Cleanup(func() { cli.Close(); srv.Close() })
+	pc := ofp.NewConn(srv)
+	go func() {
+		m, _ := pc.Recv()
+		pc.Send(&ofp.Hello{XID: m.Xid()})
+		m, _ = pc.Recv()
+		pc.Send(&ofp.FeaturesReply{XID: m.Xid(), Name: "s1", TimedUpdates: true})
+	}()
+	name, err := c.AttachTCP(id, ofp.NewConn(cli))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "s1" {
+		t.Fatalf("name = %q", name)
+	}
+	if c.Disconnects() != 0 {
+		t.Fatalf("disconnects = %d before any disconnect", c.Disconnects())
+	}
+
+	srv.Close() // switch dies
+
+	select {
+	case got := <-gone:
+		if got != id {
+			t.Fatalf("OnDisconnect(%d), want %d", got, id)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("OnDisconnect never fired")
+	}
+	if c.Disconnects() != 1 {
+		t.Fatalf("disconnects = %d, want 1", c.Disconnects())
+	}
+	// The dead session is gone: executors get ErrNoSession immediately
+	// instead of barriering forever against the vanished switch.
+	if err := c.Barrier(id); !errors.Is(err, ErrNoSession) {
+		t.Fatalf("Barrier after disconnect: err = %v, want ErrNoSession", err)
+	}
+}
+
+// A reconnect that replaces the dead session must survive the old reader's
+// late exit: sessionClosed only detaches the session it belonged to.
+func TestSessionClosedKeepsReplacement(t *testing.T) {
+	c, id := newTCPTestController(t)
+	old := &tcpSession{}
+	c.AttachSession(id, old)
+	replacement := &tcpSession{}
+	c.AttachSession(id, replacement)
+	c.sessionClosed(id, old, errors.New("late reader exit"))
+	if c.Disconnects() != 0 {
+		t.Fatalf("stale reader counted a disconnect: %d", c.Disconnects())
+	}
+	if s, err := c.session(id); err != nil || s != Session(replacement) {
+		t.Fatalf("replacement session lost: %v, %v", s, err)
+	}
+	// The replacement's own death still counts.
+	c.sessionClosed(id, replacement, errors.New("real exit"))
+	if c.Disconnects() != 1 {
+		t.Fatalf("disconnects = %d, want 1", c.Disconnects())
+	}
+	if _, err := c.session(id); !errors.Is(err, ErrNoSession) {
+		t.Fatalf("dead session still registered: %v", err)
 	}
 }

@@ -23,57 +23,75 @@ type ClockSkewPoint struct {
 	Runs          int
 }
 
+// clockSkewSample is one (sync-error level, seed) emulation run.
+type clockSkewSample struct {
+	over  sim.Time
+	drops float64
+}
+
 // AblationClockSkew quantifies the paper's premise that microsecond-
 // accurate clocks make timed updates safe: the same provably safe schedule
 // is executed under clock ensembles of increasing sync error, and the
 // emulator records when transient violations appear. With millisecond
 // ticks, violations should start once the error approaches the link
-// delays.
+// delays. Every (error level, seed) run is an independent emulation on its
+// own harness, dispatched through the parallel pool and merged in seed
+// order.
 func AblationClockSkew(cfg Config) ([]ClockSkewPoint, error) {
-	in := topo.EmulationTopo()
 	errorsNs := []int64{0, 1_000, 100_000, timesync.TickNs, 5 * timesync.TickNs, 20 * timesync.TickNs, 100 * timesync.TickNs}
 	const runs = 5
+	samples, err := fanout(cfg, len(errorsNs)*runs, func(i int) (clockSkewSample, error) {
+		errNs, seed := errorsNs[i/runs], int64(i%runs)
+		var smp clockSkewSample
+		// Each run builds its own instance: Instance carries lazily-built
+		// lookup caches, so concurrent tasks must not share one.
+		in := topo.EmulationTopo()
+		h := controller.NewHarness(in.G)
+		c := controller.New(h, controller.Options{Seed: cfg.Seed + seed})
+		var ens *timesync.Ensemble
+		if errNs > 0 {
+			ens = timesync.New(timesync.Params{
+				Seed:           cfg.Seed + seed,
+				SyncIntervalNs: 1_000_000_000,
+				SyncErrorNs:    errNs,
+				DriftPPB:       10_000,
+			}, in.G.Nodes())
+		}
+		c.AttachAll(ens)
+		f := controller.FlowSpec{Name: "agg", Tag: 0, Path: in.Init, Rate: emu.Rate(in.Demand)}
+		if err := c.Provision(f); err != nil {
+			return smp, err
+		}
+		h.AdvanceTo(300)
+		gr, err := core.Greedy(in, core.Options{Mode: core.ModeExact})
+		if err != nil {
+			return smp, err
+		}
+		s := dynflow.NewSchedule(400)
+		for v, tv := range gr.Schedule.Times {
+			s.Set(v, 400+tv)
+		}
+		if err := c.ExecuteTimed(in, s, f); err != nil {
+			return smp, err
+		}
+		h.AdvanceTo(900)
+		smp.over = h.Net.TotalOverloadTicks()
+		for _, id := range in.G.Nodes() {
+			smp.drops += h.Net.Switch(id).Dropped()
+		}
+		return smp, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var out []ClockSkewPoint
-	for _, errNs := range errorsNs {
+	for ei, errNs := range errorsNs {
 		point := ClockSkewPoint{SyncErrorNs: errNs, Runs: runs}
-		for seed := int64(0); seed < runs; seed++ {
-			h := controller.NewHarness(in.G)
-			c := controller.New(h, controller.Options{Seed: cfg.Seed + seed})
-			var ens *timesync.Ensemble
-			if errNs > 0 {
-				ens = timesync.New(timesync.Params{
-					Seed:           cfg.Seed + seed,
-					SyncIntervalNs: 1_000_000_000,
-					SyncErrorNs:    errNs,
-					DriftPPB:       10_000,
-				}, in.G.Nodes())
-			}
-			c.AttachAll(ens)
-			f := controller.FlowSpec{Name: "agg", Tag: 0, Path: in.Init, Rate: emu.Rate(in.Demand)}
-			if err := c.Provision(f); err != nil {
-				return nil, err
-			}
-			h.AdvanceTo(300)
-			gr, err := core.Greedy(in, core.Options{Mode: core.ModeExact})
-			if err != nil {
-				return nil, err
-			}
-			s := dynflow.NewSchedule(400)
-			for v, tv := range gr.Schedule.Times {
-				s.Set(v, 400+tv)
-			}
-			if err := c.ExecuteTimed(in, s, f); err != nil {
-				return nil, err
-			}
-			h.AdvanceTo(900)
-			over := h.Net.TotalOverloadTicks()
-			var drops float64
-			for _, id := range in.G.Nodes() {
-				drops += h.Net.Switch(id).Dropped()
-			}
-			point.OverloadTicks += over
-			point.Drops += drops
-			if over > 0 || drops > 0 {
+		for seed := 0; seed < runs; seed++ {
+			smp := samples[ei*runs+seed]
+			point.OverloadTicks += smp.over
+			point.Drops += smp.drops
+			if smp.over > 0 || smp.drops > 0 {
 				point.Violated++
 			}
 		}
@@ -107,10 +125,13 @@ type ModePoint struct {
 // AblationAcceptanceMode compares ModeExact (validator-backed) against
 // ModeFast (closed-form in-flight accounting): solution quality (makespan),
 // success rate and scheduling time. This quantifies what the paper's local
-// checks give up relative to ground-truth re-validation.
+// checks give up relative to ground-truth re-validation. One task per
+// switch count (each size keeps its own rngFor stream); the per-size
+// seconds are wall-clock and so, unlike every other column, vary with the
+// worker count.
 func AblationAcceptanceMode(cfg Config) ([]ModePoint, error) {
-	var out []ModePoint
-	for _, n := range cfg.Sizes {
+	return fanout(cfg, len(cfg.Sizes), func(si int) (ModePoint, error) {
+		n := cfg.Sizes[si]
 		rng := rngFor(cfg, "ablation-mode", int64(n))
 		p := ModePoint{N: n, Instances: cfg.InstancesPerRun}
 		var exSum, faSum, seqSum float64
@@ -128,21 +149,21 @@ func AblationAcceptanceMode(cfg Config) ([]ModePoint, error) {
 				exSum += float64(ex.Schedule.Makespan())
 				exCount++
 			} else if !errors.Is(exErr, core.ErrInfeasible) {
-				return nil, exErr
+				return p, exErr
 			}
 			if faErr == nil {
 				p.FastSolved++
 				faSum += float64(fa.Schedule.Makespan())
 				faCount++
 			} else if !errors.Is(faErr, core.ErrInfeasible) {
-				return nil, faErr
+				return p, faErr
 			}
 			if seq, seqErr := core.SequentialDrain(in, 0); seqErr == nil {
 				p.SeqSolved++
 				seqSum += float64(seq.Makespan())
 				seqCount++
 			} else if !errors.Is(seqErr, core.ErrInfeasible) {
-				return nil, seqErr
+				return p, seqErr
 			}
 		}
 		if exCount > 0 {
@@ -154,9 +175,8 @@ func AblationAcceptanceMode(cfg Config) ([]ModePoint, error) {
 		if seqCount > 0 {
 			p.SeqMakespan = seqSum / float64(seqCount)
 		}
-		out = append(out, p)
-	}
-	return out, nil
+		return p, nil
+	})
 }
 
 // ModeTable renders the acceptance-mode ablation.
@@ -188,24 +208,23 @@ type ExecModePoint struct {
 // control-latency jitter, can break the timing the schedule relies on —
 // the paper's core argument for timed SDNs.
 func AblationExecutionMode(cfg Config) ([]ExecModePoint, error) {
-	in := topo.EmulationTopo()
-	gr, err := core.Greedy(in, core.Options{Mode: core.ModeExact})
-	if err != nil {
-		return nil, err
-	}
-	var out []ExecModePoint
-	run := func(scheme string, exec func(c *controller.Controller, h *controller.Harness, f controller.FlowSpec) error) error {
+	// Each scheme runs on its own instance copy (Instance carries lazy
+	// caches, so concurrent executions must not share one); the topology
+	// and the greedy schedule are deterministic, so both schemes still
+	// execute the identical update plan.
+	run := func(scheme string, exec func(in *dynflow.Instance, c *controller.Controller, h *controller.Harness, f controller.FlowSpec) error) (ExecModePoint, error) {
+		in := topo.EmulationTopo()
 		h := controller.NewHarness(in.G)
 		c := controller.New(h, controller.Options{Seed: cfg.Seed, MinLatency: 1, MaxLatency: 8})
 		c.AttachAll(nil)
 		f := controller.FlowSpec{Name: "agg", Tag: 0, Path: in.Init, Rate: emu.Rate(in.Demand)}
 		if err := c.Provision(f); err != nil {
-			return err
+			return ExecModePoint{}, err
 		}
 		h.AdvanceTo(400)
 		tStart := h.Now()
-		if err := exec(c, h, f); err != nil {
-			return err
+		if err := exec(in, c, h, f); err != nil {
+			return ExecModePoint{}, err
 		}
 		// Run until the new path carries traffic end to end.
 		h.AdvanceTo(tStart + 600)
@@ -221,33 +240,46 @@ func AblationExecutionMode(cfg Config) ([]ExecModePoint, error) {
 				last = tl[len(tl)-1].At
 			}
 		}
-		out = append(out, ExecModePoint{
+		return ExecModePoint{
 			Scheme:        scheme,
 			UpdateTicks:   last - tStart,
 			OverloadTicks: h.Net.TotalOverloadTicks(),
 			Drops:         drops,
-		})
-		return nil
+		}, nil
 	}
-	if err := run("timed", func(c *controller.Controller, h *controller.Harness, f controller.FlowSpec) error {
-		s := dynflow.NewSchedule(450)
-		for v, tv := range gr.Schedule.Times {
-			s.Set(v, 450+tv)
-		}
-		return c.ExecuteTimed(in, s, f)
-	}); err != nil {
-		return nil, err
+	// The two executions run on independent harnesses; dispatch both
+	// through the pool and keep the fixed (timed, barrier-paced) order.
+	schemes := []func() (ExecModePoint, error){
+		func() (ExecModePoint, error) {
+			return run("timed", func(in *dynflow.Instance, c *controller.Controller, h *controller.Harness, f controller.FlowSpec) error {
+				gr, err := core.Greedy(in, core.Options{Mode: core.ModeExact})
+				if err != nil {
+					return err
+				}
+				s := dynflow.NewSchedule(450)
+				for v, tv := range gr.Schedule.Times {
+					s.Set(v, 450+tv)
+				}
+				return c.ExecuteTimed(in, s, f)
+			})
+		},
+		func() (ExecModePoint, error) {
+			return run("barrier-paced", func(in *dynflow.Instance, c *controller.Controller, h *controller.Harness, f controller.FlowSpec) error {
+				gr, err := core.Greedy(in, core.Options{Mode: core.ModeExact})
+				if err != nil {
+					return err
+				}
+				s := dynflow.NewSchedule(0)
+				for v, tv := range gr.Schedule.Times {
+					s.Set(v, tv)
+				}
+				return c.ExecuteBarrierPaced(in, s, f, 1)
+			})
+		},
 	}
-	if err := run("barrier-paced", func(c *controller.Controller, h *controller.Harness, f controller.FlowSpec) error {
-		s := dynflow.NewSchedule(0)
-		for v, tv := range gr.Schedule.Times {
-			s.Set(v, tv)
-		}
-		return c.ExecuteBarrierPaced(in, s, f, 1)
-	}); err != nil {
-		return nil, err
-	}
-	return out, nil
+	return fanout(cfg, len(schemes), func(i int) (ExecModePoint, error) {
+		return schemes[i]()
+	})
 }
 
 // ExecModeTable renders the execution-mode ablation.

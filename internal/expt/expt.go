@@ -5,12 +5,20 @@
 // and returns both raw data and a rendered metrics.Table with the same rows
 // or series the paper reports; cmd/experiments prints them and
 // bench_test.go wraps them as benchmarks.
+//
+// The generators fan their independent (size, run) tasks out over
+// Config.Procs workers through internal/par; every task derives its own
+// RNG via rngFor and results merge in fixed task order, so all tables
+// except wall-clock timing columns are byte-identical at every worker
+// count (see the determinism regression test).
 package expt
 
 import (
+	"context"
 	"math/rand"
 
 	"github.com/chronus-sdn/chronus/internal/dynflow"
+	"github.com/chronus-sdn/chronus/internal/par"
 	"github.com/chronus-sdn/chronus/internal/topo"
 )
 
@@ -18,6 +26,14 @@ import (
 // Quick shrinks everything for tests and benchmarks.
 type Config struct {
 	Seed int64
+
+	// Procs bounds the worker count of the parallel fan-out: every
+	// generator dispatches its independent per-(size, run) tasks through
+	// internal/par, each task deriving its own RNG through rngFor, and
+	// merges results in deterministic task order — so tables are
+	// byte-identical at every Procs value. 0 means runtime.GOMAXPROCS(0);
+	// 1 is the serial reference path.
+	Procs int
 
 	// Sizes are the switch counts of the quality experiments
 	// (Figs. 7, 8, 9; paper: 10..60 step 10).
@@ -118,10 +134,21 @@ func bigParams(n int) topo.RandomParams {
 }
 
 // rngFor derives a deterministic sub-generator per experiment stage.
+// Parallel tasks must never share a *rand.Rand: each task derives its own
+// generator here, keyed by (stage, task), which is what makes the fan-out
+// reproducible at any worker count.
 func rngFor(cfg Config, stage string, k int64) *rand.Rand {
 	h := cfg.Seed
 	for _, c := range stage {
 		h = h*131 + int64(c)
 	}
 	return rand.New(rand.NewSource(h*1_000_003 + k))
+}
+
+// fanout runs n independent experiment tasks through the bounded pool and
+// returns the results in task order (see par.Map's determinism contract).
+func fanout[T any](cfg Config, n int, f func(i int) (T, error)) ([]T, error) {
+	return par.Map(context.Background(), cfg.Procs, n, func(_ context.Context, i int) (T, error) {
+		return f(i)
+	})
 }

@@ -30,39 +30,66 @@ type Fig10Result struct {
 	Points []Fig10Point
 }
 
+// fig10Sample is one (size, instance) timing task's outcome.
+type fig10Sample struct {
+	chronus, or, opt    float64
+	orBudget, optBudget int
+}
+
+// fig10Instance times the three schemes on one random instance; the RNG
+// key is per (size, instance), so the instance population is identical at
+// every worker count (the measured seconds, like any wall-clock quantity,
+// are not — run with Procs = 1 for uncontended timings).
+func fig10Instance(cfg Config, n, k int) (fig10Sample, error) {
+	var s fig10Sample
+	rng := rngFor(cfg, "fig10", int64(n)*100+int64(k))
+	in := topo.RandomInstance(rng, bigParams(n))
+
+	start := time.Now()
+	_, err := core.Greedy(in, core.Options{Mode: core.ModeFast})
+	s.chronus = time.Since(start).Seconds()
+	if err != nil && !errors.Is(err, core.ErrInfeasible) {
+		return s, err
+	}
+
+	timeout := time.Duration(cfg.BigTimeoutSec) * time.Second
+	start = time.Now()
+	orRes, err := baseline.OROptimal(in, baseline.OROptions{MaxNodes: cfg.BigNodes, Timeout: timeout})
+	s.or = time.Since(start).Seconds()
+	if err == nil && !orRes.Exact {
+		s.orBudget++
+	}
+
+	start = time.Now()
+	optRes, err := opt.Exact(in, opt.Options{MaxNodes: cfg.BigNodes, Timeout: timeout})
+	s.opt = time.Since(start).Seconds()
+	if err != nil {
+		return s, err
+	}
+	if optRes.Status == opt.StatusBudget {
+		s.optBudget++
+	}
+	return s, nil
+}
+
 // Fig10RunningTime measures wall-clock scheduling time per scheme.
 func Fig10RunningTime(cfg Config) (*Fig10Result, error) {
 	res := &Fig10Result{}
-	for _, n := range cfg.BigSizes {
+	samples, err := fanout(cfg, len(cfg.BigSizes)*cfg.BigInstances, func(i int) (fig10Sample, error) {
+		return fig10Instance(cfg, cfg.BigSizes[i/cfg.BigInstances], i%cfg.BigInstances)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, n := range cfg.BigSizes {
 		point := Fig10Point{N: n}
 		for k := 0; k < cfg.BigInstances; k++ {
-			rng := rngFor(cfg, "fig10", int64(n)*100+int64(k))
-			in := topo.RandomInstance(rng, bigParams(n))
-
-			start := time.Now()
-			_, err := core.Greedy(in, core.Options{Mode: core.ModeFast})
-			point.Chronus += time.Since(start).Seconds()
-			if err != nil && !errors.Is(err, core.ErrInfeasible) {
-				return nil, err
-			}
-
-			timeout := time.Duration(cfg.BigTimeoutSec) * time.Second
-			start = time.Now()
-			orRes, err := baseline.OROptimal(in, baseline.OROptions{MaxNodes: cfg.BigNodes, Timeout: timeout})
-			point.OR += time.Since(start).Seconds()
-			if err == nil && !orRes.Exact {
-				point.ORBudget++
-			}
-
-			start = time.Now()
-			optRes, err := opt.Exact(in, opt.Options{MaxNodes: cfg.BigNodes, Timeout: timeout})
-			point.OPT += time.Since(start).Seconds()
-			if err != nil {
-				return nil, err
-			}
-			if optRes.Status == opt.StatusBudget {
-				point.OPTBudget++
-			}
+			s := samples[si*cfg.BigInstances+k]
+			point.Chronus += s.chronus
+			point.OR += s.or
+			point.OPT += s.opt
+			point.ORBudget += s.orBudget
+			point.OPTBudget += s.optBudget
 		}
 		inv := 1 / float64(cfg.BigInstances)
 		point.Chronus *= inv

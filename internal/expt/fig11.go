@@ -25,32 +25,55 @@ type Fig11Result struct {
 	OPTBudgetHits int
 }
 
+// fig11Sample is one instance's outcome.
+type fig11Sample struct {
+	solved, budgetHit bool
+	chronus, opt      float64
+}
+
 // Fig11UpdateTimeCDF computes update-time distributions over
-// cfg.CDFInstances random instances with cfg.CDFSize switches.
+// cfg.CDFInstances random instances with cfg.CDFSize switches. Each
+// instance is an independent task with its own rngFor generator (keyed by
+// size and instance index) and samples merge in instance order, so the
+// CDFs are identical at every cfg.Procs.
 func Fig11UpdateTimeCDF(cfg Config) (*Fig11Result, error) {
 	res := &Fig11Result{N: cfg.CDFSize}
-	var chronus, optTimes []float64
-	rng := rngFor(cfg, "fig11", int64(cfg.CDFSize))
-	for k := 0; k < cfg.CDFInstances; k++ {
+	samples, err := fanout(cfg, cfg.CDFInstances, func(k int) (fig11Sample, error) {
+		var s fig11Sample
+		rng := rngFor(cfg, "fig11", int64(cfg.CDFSize)*1_000_000+int64(k))
 		in := topo.RandomInstance(rng, instanceParams(cfg.CDFSize))
 		gres, gerr := core.Greedy(in, core.Options{Mode: core.ModeExact})
 		ores, oerr := opt.Exact(in, opt.Options{MaxNodes: cfg.OPTNodes})
 		if oerr != nil {
-			return nil, oerr
+			return s, oerr
 		}
 		if gerr != nil && !errors.Is(gerr, core.ErrInfeasible) {
-			return nil, gerr
+			return s, gerr
 		}
 		if gerr != nil || ores.Schedule == nil {
+			return s, nil // excluded: no congestion-free update time
+		}
+		s.solved = true
+		s.budgetHit = ores.Status == opt.StatusBudget
+		s.chronus = float64(gres.Schedule.Makespan())
+		s.opt = float64(ores.Schedule.Makespan())
+		return s, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var chronus, optTimes []float64
+	for _, s := range samples {
+		if !s.solved {
 			res.Excluded++
 			continue
 		}
 		res.Solved++
-		if ores.Status == opt.StatusBudget {
+		if s.budgetHit {
 			res.OPTBudgetHits++
 		}
-		chronus = append(chronus, float64(gres.Schedule.Makespan()))
-		optTimes = append(optTimes, float64(ores.Schedule.Makespan()))
+		chronus = append(chronus, s.chronus)
+		optTimes = append(optTimes, s.opt)
 	}
 	res.Chronus = metrics.NewCDF(chronus)
 	res.OPT = metrics.NewCDF(optTimes)

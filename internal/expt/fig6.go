@@ -53,63 +53,67 @@ func Fig6Bandwidth(cfg Config) (*Fig6Result, error) {
 	windowStart := sim.Time(fig6UpdateAt - 2*cfg.Fig6Interval)
 	windowEnd := windowStart + sim.Time(int64(cfg.Fig6Samples)*cfg.Fig6Interval)
 
-	// Each scheme runs on a fresh network; the monitored link is chosen
-	// after the fact as the one OR overloads hardest (relative to its
-	// capacity), which is the link the paper's figure zooms in on. All
-	// three series then read the same link's counters.
+	// Each scheme runs on a fresh network (and its own instance copy:
+	// Instance carries lazy caches, so concurrent runs must not share
+	// one); the monitored link is chosen after the fact as the one OR
+	// overloads hardest (relative to its capacity), which is the link the
+	// paper's figure zooms in on. All three series then read the same
+	// link's counters.
 	type runState struct {
 		scheme string
 		h      *controller.Harness
 	}
-	var runs []runState
 
-	run := func(scheme string, execute func(c *controller.Controller, h *controller.Harness, f controller.FlowSpec) error) error {
+	run := func(scheme string, execute func(in *dynflow.Instance, c *controller.Controller, h *controller.Harness, f controller.FlowSpec) error) (runState, error) {
+		in := topo.EmulationTopo()
 		h := controller.NewHarness(in.G)
 		c := controller.New(h, controller.Options{Seed: cfg.Seed})
 		c.AttachAll(nil)
 		f := controller.FlowSpec{Name: "agg", Tag: 0, Path: in.Init, Rate: emu.Rate(in.Demand)}
 		if err := c.Provision(f); err != nil {
-			return fmt.Errorf("%s: provision: %w", scheme, err)
+			return runState{}, fmt.Errorf("%s: provision: %w", scheme, err)
 		}
 		h.AdvanceTo(fig6UpdateAt)
-		if err := execute(c, h, f); err != nil {
-			return fmt.Errorf("%s: execute: %w", scheme, err)
+		if err := execute(in, c, h, f); err != nil {
+			return runState{}, fmt.Errorf("%s: execute: %w", scheme, err)
 		}
 		h.AdvanceTo(windowEnd + 10)
-		runs = append(runs, runState{scheme: scheme, h: h})
-		return nil
+		return runState{scheme: scheme, h: h}, nil
 	}
 
-	err := run("chronus", func(c *controller.Controller, h *controller.Harness, f controller.FlowSpec) error {
-		gr, err := core.Greedy(in, core.Options{Mode: core.ModeExact})
-		if err != nil {
-			return err
-		}
-		// Shift the relative schedule past the control latency.
-		s := dynflow.NewSchedule(fig6UpdateAt + 50)
-		for v, tv := range gr.Schedule.Times {
-			s.Set(v, fig6UpdateAt+50+tv)
-		}
-		return c.ExecuteTimed(in, s, f)
-	})
-	if err != nil {
-		return nil, err
+	schemes := []func() (runState, error){
+		func() (runState, error) {
+			return run("chronus", func(in *dynflow.Instance, c *controller.Controller, h *controller.Harness, f controller.FlowSpec) error {
+				gr, err := core.Greedy(in, core.Options{Mode: core.ModeExact})
+				if err != nil {
+					return err
+				}
+				// Shift the relative schedule past the control latency.
+				s := dynflow.NewSchedule(fig6UpdateAt + 50)
+				for v, tv := range gr.Schedule.Times {
+					s.Set(v, fig6UpdateAt+50+tv)
+				}
+				return c.ExecuteTimed(in, s, f)
+			})
+		},
+		func() (runState, error) {
+			return run("tp", func(in *dynflow.Instance, c *controller.Controller, h *controller.Harness, f controller.FlowSpec) error {
+				return c.ExecuteTwoPhase(in, f, 1)
+			})
+		},
+		func() (runState, error) {
+			return run("or", func(in *dynflow.Instance, c *controller.Controller, h *controller.Harness, f controller.FlowSpec) error {
+				rounds, err := baseline.ORGreedy(in)
+				if err != nil {
+					return err
+				}
+				s := baseline.ORSchedule(rounds, baseline.ORScheduleOptions{Start: 0, RoundWidth: 1})
+				return c.ExecuteBarrierPaced(in, s, f, 1)
+			})
+		},
 	}
-
-	err = run("tp", func(c *controller.Controller, h *controller.Harness, f controller.FlowSpec) error {
-		return c.ExecuteTwoPhase(in, f, 1)
-	})
-	if err != nil {
-		return nil, err
-	}
-
-	err = run("or", func(c *controller.Controller, h *controller.Harness, f controller.FlowSpec) error {
-		rounds, err := baseline.ORGreedy(in)
-		if err != nil {
-			return err
-		}
-		s := baseline.ORSchedule(rounds, baseline.ORScheduleOptions{Start: 0, RoundWidth: 1})
-		return c.ExecuteBarrierPaced(in, s, f, 1)
+	runs, err := fanout(cfg, len(schemes), func(i int) (runState, error) {
+		return schemes[i]()
 	})
 	if err != nil {
 		return nil, err

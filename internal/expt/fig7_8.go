@@ -37,78 +37,112 @@ type Fig8Result struct {
 	Chronus, OR []SizePoint
 }
 
+// qualityTally is one (size, run) task's partial counts; per-size points
+// merge tallies in run order.
+type qualityTally struct {
+	chrFree, orFree, optFree    int
+	chrTotal, orTotal, optTotal int
+	chrCongSum, orCongSum       float64
+}
+
+func (t *qualityTally) add(o qualityTally) {
+	t.chrFree += o.chrFree
+	t.orFree += o.orFree
+	t.optFree += o.optFree
+	t.chrTotal += o.chrTotal
+	t.orTotal += o.orTotal
+	t.optTotal += o.optTotal
+	t.chrCongSum += o.chrCongSum
+	t.orCongSum += o.orCongSum
+}
+
+// qualityRun evaluates one run's InstancesPerRun instances under its own
+// rngFor-derived generator; it is the unit of the parallel fan-out.
+func qualityRun(cfg Config, n, run int) (qualityTally, error) {
+	rng := rngFor(cfg, "fig7", int64(n)*1000+int64(run))
+	evalOPT := run < cfg.OPTRuns
+	var t qualityTally
+	for k := 0; k < cfg.InstancesPerRun; k++ {
+		in := topo.RandomInstance(rng, instanceParams(n))
+
+		// Chronus: the exact-mode greedy (the quality variant at
+		// these sizes); on infeasibility the remaining switches
+		// flip after the drain (best effort) and the validator
+		// counts the damage.
+		res, err := core.Greedy(in, core.Options{Mode: core.ModeExact, BestEffort: true})
+		if err != nil && !errors.Is(err, core.ErrInfeasible) {
+			return t, err
+		}
+		t.chrTotal++
+		if res.BestEffort {
+			t.chrCongSum += float64(res.Report.CongestedLinkInstances())
+			if res.Report.CongestedLinkInstances() == 0 && len(res.Report.Loops) == 0 {
+				t.chrFree++
+			}
+		} else {
+			t.chrFree++ // violation-free by construction (property-tested)
+		}
+
+		// OR: loop-free rounds replayed with intra-round jitter.
+		rounds, err := baseline.ORGreedy(in)
+		t.orTotal++
+		if err != nil {
+			t.orCongSum += float64(len(in.Fin)) // stuck: count the whole path
+		} else {
+			s := baseline.ORSchedule(rounds, baseline.ORScheduleOptions{
+				Start: 0, RoundWidth: cfg.ORRoundWidth, Rng: rng,
+			})
+			r := dynflow.Validate(in, s)
+			t.orCongSum += float64(r.CongestedLinkInstances())
+			// Congestion-free means no congested link instances and no
+			// transient loops — the same test Chronus's best-effort
+			// branch applies above.
+			if r.CongestedLinkInstances() == 0 && len(r.Loops) == 0 {
+				t.orFree++
+			}
+		}
+
+		// OPT: budgeted exact feasibility on the sampled runs.
+		if evalOPT {
+			feasible, _, err := opt.Feasible(in, opt.Options{MaxNodes: cfg.OPTNodes})
+			if err != nil {
+				return t, err
+			}
+			t.optTotal++
+			if feasible {
+				t.optFree++
+			}
+		}
+	}
+	return t, nil
+}
+
 // EvaluateQuality runs the Fig. 7/8 simulation: per switch count, Runs
 // independent runs of InstancesPerRun random update instances; each
 // instance is scheduled by Chronus (fast greedy with best-effort fallback),
 // replayed under OR rounds with intra-round jitter, and — on a subset of
-// runs — decided by budgeted OPT.
+// runs — decided by budgeted OPT. Runs execute concurrently (cfg.Procs
+// workers) and merge in (size, run) order, so the result is independent of
+// the worker count.
 func EvaluateQuality(cfg Config) (*Fig7Result, *Fig8Result, error) {
 	f7 := &Fig7Result{}
 	f8 := &Fig8Result{}
-	for _, n := range cfg.Sizes {
-		var (
-			chrFree, orFree, optFree    int
-			chrTotal, orTotal, optTotal int
-			chrCongSum, orCongSum       float64
-		)
+	tallies, err := fanout(cfg, len(cfg.Sizes)*cfg.Runs, func(i int) (qualityTally, error) {
+		return qualityRun(cfg, cfg.Sizes[i/cfg.Runs], i%cfg.Runs)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for si, n := range cfg.Sizes {
+		var t qualityTally
 		for run := 0; run < cfg.Runs; run++ {
-			rng := rngFor(cfg, "fig7", int64(n)*1000+int64(run))
-			evalOPT := run < cfg.OPTRuns
-			for k := 0; k < cfg.InstancesPerRun; k++ {
-				in := topo.RandomInstance(rng, instanceParams(n))
-
-				// Chronus: the exact-mode greedy (the quality variant at
-				// these sizes); on infeasibility the remaining switches
-				// flip after the drain (best effort) and the validator
-				// counts the damage.
-				res, err := core.Greedy(in, core.Options{Mode: core.ModeExact, BestEffort: true})
-				if err != nil && !errors.Is(err, core.ErrInfeasible) {
-					return nil, nil, err
-				}
-				chrTotal++
-				if res.BestEffort {
-					chrCongSum += float64(res.Report.CongestedLinkInstances())
-					if res.Report.CongestedLinkInstances() == 0 && len(res.Report.Loops) == 0 {
-						chrFree++
-					}
-				} else {
-					chrFree++ // violation-free by construction (property-tested)
-				}
-
-				// OR: loop-free rounds replayed with intra-round jitter.
-				rounds, err := baseline.ORGreedy(in)
-				orTotal++
-				if err != nil {
-					orCongSum += float64(len(in.Fin)) // stuck: count the whole path
-				} else {
-					s := baseline.ORSchedule(rounds, baseline.ORScheduleOptions{
-						Start: 0, RoundWidth: cfg.ORRoundWidth, Rng: rng,
-					})
-					r := dynflow.Validate(in, s)
-					orCongSum += float64(r.CongestedLinkInstances())
-					if r.CongestedLinkInstances() == 0 {
-						orFree++
-					}
-				}
-
-				// OPT: budgeted exact feasibility on the sampled runs.
-				if evalOPT {
-					feasible, _, err := opt.Feasible(in, opt.Options{MaxNodes: cfg.OPTNodes})
-					if err != nil {
-						return nil, nil, err
-					}
-					optTotal++
-					if feasible {
-						optFree++
-					}
-				}
-			}
+			t.add(tallies[si*cfg.Runs+run])
 		}
-		f7.Chronus = append(f7.Chronus, SizePoint{N: n, CongestionFreePct: metrics.Percent(chrFree, chrTotal), Instances: chrTotal})
-		f7.OR = append(f7.OR, SizePoint{N: n, CongestionFreePct: metrics.Percent(orFree, orTotal), Instances: orTotal})
-		f7.OPT = append(f7.OPT, SizePoint{N: n, CongestionFreePct: metrics.Percent(optFree, optTotal), Instances: optTotal})
-		f8.Chronus = append(f8.Chronus, SizePoint{N: n, MeanCongestedLinks: chrCongSum / float64(chrTotal), Instances: chrTotal})
-		f8.OR = append(f8.OR, SizePoint{N: n, MeanCongestedLinks: orCongSum / float64(orTotal), Instances: orTotal})
+		f7.Chronus = append(f7.Chronus, SizePoint{N: n, CongestionFreePct: metrics.Percent(t.chrFree, t.chrTotal), Instances: t.chrTotal})
+		f7.OR = append(f7.OR, SizePoint{N: n, CongestionFreePct: metrics.Percent(t.orFree, t.orTotal), Instances: t.orTotal})
+		f7.OPT = append(f7.OPT, SizePoint{N: n, CongestionFreePct: metrics.Percent(t.optFree, t.optTotal), Instances: t.optTotal})
+		f8.Chronus = append(f8.Chronus, SizePoint{N: n, MeanCongestedLinks: t.chrCongSum / float64(t.chrTotal), Instances: t.chrTotal})
+		f8.OR = append(f8.OR, SizePoint{N: n, MeanCongestedLinks: t.orCongSum / float64(t.orTotal), Instances: t.orTotal})
 	}
 	return f7, f8, nil
 }

@@ -22,28 +22,50 @@ type Fig9Result struct {
 	Points []Fig9Point
 }
 
+// fig9Tally is one (size, run) task's samples.
+type fig9Tally struct {
+	chronus []float64
+	tpSum   float64
+}
+
 // Fig9RuleOverhead accounts flow-table usage per update instance under
 // Chronus (rules modified in place, fresh installs only on final-only
 // switches) and two-phase commit (both versions resident plus per-host
 // stamping entries at the ingress, per Table II's tagged host rules).
 // The ingress hosts one prefix per switch, as in pod-style deployments.
+// Each (size, run) block of InstancesPerRun instances is an independent
+// task with its own rngFor generator; per-size points merge the blocks in
+// run order, so the table is the same at every cfg.Procs.
 func Fig9RuleOverhead(cfg Config) (*Fig9Result, error) {
 	res := &Fig9Result{}
-	for _, n := range cfg.Sizes {
-		rng := rngFor(cfg, "fig9", int64(n))
-		var chronus []float64
-		var tpSum float64
-		count := cfg.Runs * cfg.InstancesPerRun
+	tallies, err := fanout(cfg, len(cfg.Sizes)*cfg.Runs, func(i int) (fig9Tally, error) {
+		n, run := cfg.Sizes[i/cfg.Runs], i%cfg.Runs
+		rng := rngFor(cfg, "fig9", int64(n)*1000+int64(run))
 		params := instanceParams(n)
 		// Randomize the initial path too so the box plot reflects topology
 		// diversity (final-only switches need fresh installs).
 		params.InitInclude = 0.75
-		for k := 0; k < count; k++ {
+		var t fig9Tally
+		for k := 0; k < cfg.InstancesPerRun; k++ {
 			in := topo.RandomInstance(rng, params)
 			acc := baseline.CountRules(in, n)
-			chronus = append(chronus, float64(acc.ChronusPeak))
-			tpSum += float64(acc.TPPeak)
+			t.chronus = append(t.chronus, float64(acc.ChronusPeak))
+			t.tpSum += float64(acc.TPPeak)
 		}
+		return t, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, n := range cfg.Sizes {
+		var chronus []float64
+		var tpSum float64
+		for run := 0; run < cfg.Runs; run++ {
+			t := tallies[si*cfg.Runs+run]
+			chronus = append(chronus, t.chronus...)
+			tpSum += t.tpSum
+		}
+		count := cfg.Runs * cfg.InstancesPerRun
 		tpMean := tpSum / float64(count)
 		sum := metrics.Summarize(chronus)
 		res.Points = append(res.Points, Fig9Point{
