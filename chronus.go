@@ -96,6 +96,12 @@ type SolveOptions struct {
 	// one exists: the stragglers flip after the drain and the Report
 	// carries the damage.
 	BestEffort bool
+	// Obs receives scheduler counters (candidates accepted, deferred and
+	// rejected, validator runs, wake jumps); nil disables instrumentation.
+	Obs *MetricsRegistry
+	// Trace receives per-decision scheduler events stamped with the
+	// candidate activation tick; nil disables tracing.
+	Trace *Tracer
 }
 
 // Plan is a solved update: the schedule plus scheduling diagnostics.
@@ -113,7 +119,7 @@ type Plan struct {
 // Solve computes a timed update schedule with the Chronus greedy scheduler
 // (Algorithm 2 of the paper).
 func Solve(in *Instance, o SolveOptions) (*Plan, error) {
-	res, err := core.Greedy(in, core.Options{Start: o.Start, Mode: o.Mode, BestEffort: o.BestEffort})
+	res, err := core.Greedy(in, core.Options{Start: o.Start, Mode: o.Mode, BestEffort: o.BestEffort, Obs: o.Obs, Trace: o.Trace})
 	if err != nil {
 		return nil, err
 	}

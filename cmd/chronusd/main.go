@@ -12,16 +12,24 @@
 //	GET  /switches/{name}/rules      a switch's flow table
 //	GET  /links                      per-link rates, counters, overloads
 //	GET  /bandwidth?from=R2&to=R10&interval=50&samples=10
+//	GET  /metrics                    Prometheus text exposition
+//	GET  /trace?since=42             structured event trace as JSONL
 //	POST /advance  {"ticks": 100}    advance virtual time
 //	POST /update   {"method": "chronus"}   chronus | chronus-fast | tp | or
+//
+// With -debug-addr a second listener additionally serves net/http/pprof
+// and expvar on the standard /debug/ paths.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"time"
 
 	"github.com/chronus-sdn/chronus/internal/ofp"
 	"github.com/chronus-sdn/chronus/internal/switchd"
@@ -30,6 +38,7 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "REST listen address")
 	seed := flag.Int64("seed", 1, "seed for control latency and clock ensemble")
+	debugAddr := flag.String("debug-addr", "", "listen address for pprof and expvar (empty disables)")
 	flag.Parse()
 
 	srv, err := newServer(*seed)
@@ -38,11 +47,34 @@ func main() {
 		os.Exit(1)
 	}
 	defer srv.Close()
+	if *debugAddr != "" {
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chronusd:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("chronusd: pprof and expvar on http://%s/debug/\n", ln.Addr())
+		go func() { _ = http.Serve(ln, debugHandler()) }()
+	}
 	fmt.Printf("chronusd: %d switch agents on TCP, REST on http://%s\n", srv.agentCount(), *addr)
 	if err := http.ListenAndServe(*addr, srv.handler()); err != nil {
 		fmt.Fprintln(os.Stderr, "chronusd:", err)
 		os.Exit(1)
 	}
+}
+
+// debugHandler serves the stdlib profiling and variable endpoints on an
+// explicit mux (the default mux is avoided so tests can run several
+// servers side by side).
+func debugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
 }
 
 // bootAgents starts one TCP listener + agent per switch and connects the
@@ -56,6 +88,7 @@ func bootAgents(srv *server) error {
 		}
 		srv.listeners = append(srv.listeners, ln)
 		agent := switchd.New(srv.tb.Net, id, srv.clock)
+		agent.SetObs(srv.reg, srv.tracer)
 		go func() {
 			for {
 				conn, err := ln.Accept()
@@ -70,10 +103,13 @@ func bootAgents(srv *server) error {
 				}()
 			}
 		}()
-		conn, err := ofp.Dial(ln.Addr().String())
+		// A loopback connect normally completes instantly; the timeout
+		// bounds the boot when a listener goroutine wedges.
+		conn, err := ofp.DialTimeout(ln.Addr().String(), 5*time.Second)
 		if err != nil {
 			return err
 		}
+		conn.SetMeter(srv.meter)
 		srv.conns = append(srv.conns, conn)
 		name, err := srv.ctl.AttachTCP(id, conn)
 		if err != nil {

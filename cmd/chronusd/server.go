@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	chronus "github.com/chronus-sdn/chronus"
 	"github.com/chronus-sdn/chronus/internal/ofp"
@@ -17,11 +18,14 @@ import (
 // server holds the daemon's state: the emulated network, its switch agents
 // (reachable over TCP), the controller, and the flow being managed.
 type server struct {
-	in    *chronus.Instance
-	tb    *chronus.Testbed
-	ctl   *chronus.Controller
-	clock *chronus.ClockEnsemble
-	flow  chronus.FlowSpec
+	in     *chronus.Instance
+	tb     *chronus.Testbed
+	ctl    *chronus.Controller
+	clock  *chronus.ClockEnsemble
+	flow   chronus.FlowSpec
+	reg    *chronus.MetricsRegistry
+	tracer *chronus.Tracer
+	meter  *ofp.ConnMeter
 
 	mu      sync.Mutex
 	updated bool
@@ -33,13 +37,23 @@ type server struct {
 func newServer(seed int64) (*server, error) {
 	in := chronus.EmulationTopo()
 	tb := chronus.NewTestbed(in.G)
+	reg := chronus.NewMetricsRegistry()
+	// Pre-register every family so /metrics is complete from boot, before
+	// the first update or validation touches an instrument.
+	chronus.RegisterAllMetrics(reg)
+	tracer := chronus.NewTracer(chronus.TracerOptions{Wall: func() int64 { return time.Now().UnixNano() }})
+	in.Obs = reg
 	srv := &server{
-		in:    in,
-		tb:    tb,
-		ctl:   chronus.NewController(tb, chronus.ControllerOptions{Seed: seed}),
-		clock: chronus.NewClockEnsemble(chronus.DefaultClockParams(seed), in.G.Nodes()),
-		flow:  chronus.FlowSpec{Name: "agg", Tag: 0, Path: in.Init, Rate: chronus.Rate(in.Demand)},
+		in:     in,
+		tb:     tb,
+		ctl:    chronus.NewController(tb, chronus.ControllerOptions{Seed: seed, Obs: reg, Trace: tracer}),
+		clock:  chronus.NewClockEnsemble(chronus.DefaultClockParams(seed), in.G.Nodes()),
+		flow:   chronus.FlowSpec{Name: "agg", Tag: 0, Path: in.Init, Rate: chronus.Rate(in.Demand)},
+		reg:    reg,
+		tracer: tracer,
+		meter:  ofp.NewConnMeter(reg),
 	}
+	tb.Net.SetObs(reg, tracer)
 	if err := bootAgents(srv); err != nil {
 		srv.Close()
 		return nil, err
@@ -74,7 +88,31 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST /advance", s.handleAdvance)
 	mux.HandleFunc("GET /packetins", s.handlePacketIns)
 	mux.HandleFunc("POST /update", s.handleUpdate)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /trace", s.handleTrace)
 	return mux
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
+}
+
+// handleTrace streams the recorded trace events as JSON Lines; ?since=N
+// skips events with sequence numbers <= N, so pollers can tail the ring
+// incrementally.
+func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	var since uint64
+	if q := r.URL.Query().Get("since"); q != "" {
+		v, err := strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad since: %w", err))
+			return
+		}
+		since = v
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	_ = s.tracer.WriteJSONL(w, since)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -255,7 +293,7 @@ func (s *server) executeUpdate(method string) error {
 		if method == "chronus-fast" {
 			mode = chronus.ModeFast
 		}
-		plan, err := chronus.Solve(s.in, chronus.SolveOptions{Mode: mode})
+		plan, err := chronus.Solve(s.in, chronus.SolveOptions{Mode: mode, Obs: s.reg, Trace: s.tracer})
 		if err != nil {
 			return err
 		}

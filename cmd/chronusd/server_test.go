@@ -2,8 +2,11 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -103,6 +106,131 @@ func TestDaemonEndToEnd(t *testing.T) {
 	r.Body.Close()
 	if r.StatusCode != http.StatusNotFound {
 		t.Fatalf("unknown switch: %s", r.Status)
+	}
+}
+
+// expositionLine matches the Prometheus text format 0.0.4: comment
+// lines, blank lines, or `name{labels} value`.
+var expositionLine = regexp.MustCompile(
+	`^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? [0-9eE.+-]+|)$`)
+
+func TestDaemonMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	// Drive one update so the scheduler, controller and emulator families
+	// all carry non-zero values.
+	resp, result := postJSON(t, ts.URL+"/update", `{"method": "chronus"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("update: %s (%v)", resp.Status, result)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for i, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if !expositionLine.MatchString(line) {
+			t.Fatalf("line %d not valid exposition text: %q", i+1, line)
+		}
+	}
+	// The exposition must cover the controller, scheduler and emulator
+	// families (plus the rest of the stack).
+	for _, family := range []string{
+		"chronus_controller_flowmods_sent_total",
+		"chronus_controller_barrier_rtt_ticks_bucket",
+		"chronus_scheduler_candidates_total",
+		"chronus_scheduler_runs_total",
+		"chronus_validator_runs_total",
+		"chronus_switchd_flowmods_total",
+		"chronus_emu_overloads_total",
+		"chronus_ofp_messages_total",
+	} {
+		if !strings.Contains(text, family) {
+			t.Fatalf("exposition missing family %q:\n%s", family, text)
+		}
+	}
+	// A timed chronus update must have scheduled timed FlowMods and run
+	// the scheduler exactly once.
+	timed := regexp.MustCompile(`chronus_switchd_flowmods_total\{kind="timed"\} (\d+)`).FindStringSubmatch(text)
+	if timed == nil || timed[1] == "0" {
+		t.Fatalf("no timed FlowMods recorded:\n%s", text)
+	}
+	if !strings.Contains(text, "chronus_scheduler_runs_total 1") {
+		t.Fatalf("scheduler run not recorded:\n%s", text)
+	}
+}
+
+func TestDaemonTraceEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, result := postJSON(t, ts.URL+"/update", `{"method": "chronus"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("update: %s (%v)", resp.Status, result)
+	}
+
+	resp, err := http.Get(ts.URL + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("empty trace")
+	}
+	var last uint64
+	for i, line := range lines {
+		var ev struct {
+			Seq  uint64 `json:"seq"`
+			Name string `json:"name"`
+			Wall int64  `json:"wall"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %d not JSON: %v", i+1, err)
+		}
+		if ev.Seq <= last {
+			t.Fatalf("line %d seq %d not increasing (prev %d)", i+1, ev.Seq, last)
+		}
+		if ev.Wall == 0 {
+			t.Fatalf("line %d missing wall-clock stamp (daemon tracer runs in wall mode): %s", i+1, line)
+		}
+		last = ev.Seq
+	}
+
+	// since=N resumes after the cursor.
+	resp, err = http.Get(fmt.Sprintf("%s/trace?since=%d", ts.URL, last))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(tail)) != "" {
+		t.Fatalf("since=%d returned events: %q", last, tail)
+	}
+	resp, err = http.Get(ts.URL + "/trace?since=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad since: %s", resp.Status)
 	}
 }
 

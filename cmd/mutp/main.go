@@ -58,6 +58,7 @@ func run(args []string, out io.Writer) error {
 	jsonOut := fs.Bool("json", false, "emit the schedule as JSON")
 	dot := fs.Bool("dot", false, "emit the topology as Graphviz DOT (initial path blue, final dashed green) and exit")
 	bestEffort := fs.Bool("best-effort", false, "return a schedule even when no violation-free one exists")
+	traceFile := fs.String("trace", "", "execute the schedule on the emulated testbed and write its event trace (JSONL) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -80,10 +81,21 @@ func run(args []string, out io.Writer) error {
 	if *scheme == "all" {
 		schemes = []string{"chronus", "chronus-fast", "opt", "or", "tree"}
 	}
+	traced := false
 	for _, sch := range schemes {
-		if err := solveOne(out, in, sch, *bestEffort, *jsonOut); err != nil {
+		sched, err := solveOne(out, in, sch, *bestEffort, *jsonOut)
+		if err != nil {
 			return err
 		}
+		if *traceFile != "" && sched != nil && !traced {
+			if err := executeTrace(out, in, sched, *seed, *traceFile); err != nil {
+				return err
+			}
+			traced = true
+		}
+	}
+	if *traceFile != "" && !traced {
+		return errors.New("-trace needs a feasible timed schedule (scheme chronus, chronus-fast or opt)")
 	}
 	return nil
 }
@@ -118,7 +130,10 @@ func loadInstance(name string, n int, seed int64) (*chronus.Instance, error) {
 	return &chronus.Instance{G: file.Graph, Demand: file.Demand, Init: init, Fin: fin}, nil
 }
 
-func solveOne(out io.Writer, in *chronus.Instance, scheme string, bestEffort, jsonOut bool) error {
+// solveOne runs one scheme and returns its timed schedule when the
+// scheme produces one (nil for round-based and decision-only schemes, or
+// when the instance is infeasible).
+func solveOne(out io.Writer, in *chronus.Instance, scheme string, bestEffort, jsonOut bool) (*chronus.Schedule, error) {
 	fmt.Fprintf(out, "\n== %s ==\n", scheme)
 	switch scheme {
 	case "chronus", "chronus-fast":
@@ -129,10 +144,10 @@ func solveOne(out io.Writer, in *chronus.Instance, scheme string, bestEffort, js
 		plan, err := chronus.Solve(in, chronus.SolveOptions{Mode: mode, BestEffort: bestEffort})
 		if errors.Is(err, chronus.ErrInfeasible) {
 			fmt.Fprintln(out, "infeasible: no congestion- and loop-free schedule")
-			return nil
+			return nil, nil
 		}
 		if err != nil {
-			return err
+			return nil, err
 		}
 		printSchedule(out, in, plan.Schedule, jsonOut)
 		if plan.BestEffort {
@@ -143,22 +158,24 @@ func solveOne(out io.Writer, in *chronus.Instance, scheme string, bestEffort, js
 			report = chronus.Validate(in, plan.Schedule)
 		}
 		fmt.Fprintf(out, "validation: %s\n", report.Summary())
+		return plan.Schedule, nil
 	case "opt":
 		plan, err := chronus.SolveOptimal(in, chronus.OptimalOptions{})
 		if errors.Is(err, chronus.ErrInfeasible) {
 			fmt.Fprintln(out, "infeasible: no congestion- and loop-free schedule")
-			return nil
+			return nil, nil
 		}
 		if err != nil {
-			return err
+			return nil, err
 		}
 		printSchedule(out, in, plan.Schedule, jsonOut)
 		fmt.Fprintf(out, "exact: %v (searched %d nodes)\n", plan.Exact, plan.Nodes)
 		fmt.Fprintf(out, "validation: %s\n", chronus.Validate(in, plan.Schedule).Summary())
+		return plan.Schedule, nil
 	case "or":
 		rounds, err := chronus.OrderReplacementRounds(in)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		for i, round := range rounds {
 			names := make([]string, len(round))
@@ -168,17 +185,18 @@ func solveOne(out io.Writer, in *chronus.Instance, scheme string, bestEffort, js
 			fmt.Fprintf(out, "round %d: %s\n", i+1, strings.Join(names, ", "))
 		}
 		fmt.Fprintln(out, "(order replacement ignores capacities and delays; replay it on the validator to see transients)")
+		return nil, nil
 	case "tree":
 		ok, err := chronus.Feasible(in)
 		if err != nil {
 			fmt.Fprintf(out, "tree check unavailable: %v\n", err)
-			return nil
+			return nil, nil
 		}
 		fmt.Fprintf(out, "feasible congestion- and loop-free sequence exists: %v\n", ok)
+		return nil, nil
 	default:
-		return fmt.Errorf("unknown scheme %q", scheme)
+		return nil, fmt.Errorf("unknown scheme %q", scheme)
 	}
-	return nil
 }
 
 func printSchedule(out io.Writer, in *chronus.Instance, s *chronus.Schedule, jsonOut bool) {

@@ -102,6 +102,63 @@ func TestCLIErrors(t *testing.T) {
 	}
 }
 
+func TestCLITraceDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	p1 := filepath.Join(dir, "a.jsonl")
+	p2 := filepath.Join(dir, "b.jsonl")
+	out1 := strings.ReplaceAll(runCLI(t, "-instance", "fig1", "-scheme", "chronus", "-trace", p1), p1, "TRACE")
+	out2 := strings.ReplaceAll(runCLI(t, "-instance", "fig1", "-scheme", "chronus", "-trace", p2), p2, "TRACE")
+	if out1 != out2 {
+		t.Fatalf("stdout differs between identical runs:\n%s\n---\n%s", out1, out2)
+	}
+	b1, err := os.ReadFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("trace files differ between identical fixed-seed runs")
+	}
+	if len(b1) == 0 {
+		t.Fatal("empty trace file")
+	}
+	// Every line is a JSON event stamped with virtual time; deterministic
+	// mode must omit wall-clock stamps.
+	for i, line := range bytes.Split(bytes.TrimSpace(b1), []byte("\n")) {
+		var ev struct {
+			Seq  uint64 `json:"seq"`
+			Name string `json:"name"`
+			Wall int64  `json:"wall"`
+		}
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("line %d not JSON: %v", i+1, err)
+		}
+		if ev.Seq == 0 || ev.Name == "" {
+			t.Fatalf("line %d missing seq/name: %s", i+1, line)
+		}
+		if ev.Wall != 0 {
+			t.Fatalf("line %d carries a wall-clock stamp in deterministic mode: %s", i+1, line)
+		}
+	}
+	// The timeline must show the full per-switch lifecycle.
+	for _, want := range []string{"timeline", "sched@", "recv@", "barrier@", "apply@"} {
+		if !strings.Contains(out1, want) {
+			t.Fatalf("timeline missing %q:\n%s", want, out1)
+		}
+	}
+}
+
+func TestCLITraceRequiresTimedScheme(t *testing.T) {
+	var buf bytes.Buffer
+	p := filepath.Join(t.TempDir(), "t.jsonl")
+	if err := run([]string{"-instance", "fig1", "-scheme", "or", "-trace", p}, &buf); err == nil {
+		t.Fatal("-trace with round-based scheme accepted")
+	}
+}
+
 func TestCLIDOTOutput(t *testing.T) {
 	out := runCLI(t, "-instance", "fig1", "-dot")
 	for _, want := range []string{"digraph", "\"v1\" -> \"v2\"", "dashed"} {

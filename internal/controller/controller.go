@@ -21,6 +21,7 @@ import (
 
 	"github.com/chronus-sdn/chronus/internal/emu"
 	"github.com/chronus-sdn/chronus/internal/graph"
+	"github.com/chronus-sdn/chronus/internal/obs"
 	"github.com/chronus-sdn/chronus/internal/ofp"
 	"github.com/chronus-sdn/chronus/internal/sim"
 	"github.com/chronus-sdn/chronus/internal/switchd"
@@ -92,6 +93,47 @@ type Options struct {
 	// goroutine) after a connected session drops and has been detached;
 	// err is the read error that ended the session.
 	OnDisconnect func(id graph.NodeID, err error)
+	// Obs receives controller counters (FlowMods sent, barrier round
+	// trips and their virtual-time latency, disconnects, stats polls,
+	// PacketIns). When nil the controller creates a private registry, so
+	// the tallies behind Disconnects() always exist.
+	Obs *obs.Registry
+	// Trace receives control-plane events (FlowMod sends, barrier spans,
+	// disconnects) stamped with virtual time; nil disables tracing.
+	Trace *obs.Tracer
+}
+
+// RegisterMetrics pre-registers the controller metric families on r so
+// they appear in expositions before the first control message.
+func RegisterMetrics(r *obs.Registry) {
+	newCtlMetrics(r)
+}
+
+// ctlMetrics bundles the controller's registry instruments.
+type ctlMetrics struct {
+	flowMods    *obs.Counter
+	barriers    *obs.Counter
+	barrierRTT  *obs.Histogram
+	disconnects *obs.Counter
+	statsPolls  *obs.Counter
+	packetIns   *obs.Counter
+}
+
+func newCtlMetrics(r *obs.Registry) ctlMetrics {
+	r.Help("chronus_controller_flowmods_sent_total", "FlowMod messages sent to switches")
+	r.Help("chronus_controller_barriers_total", "barrier rounds issued")
+	r.Help("chronus_controller_barrier_rtt_ticks", "barrier round-trip latency in virtual ticks")
+	r.Help("chronus_controller_disconnects_total", "sessions detached after transport failure")
+	r.Help("chronus_controller_stats_polls_total", "port-statistics polls")
+	r.Help("chronus_controller_packetins_total", "asynchronous PacketIn notifications received")
+	return ctlMetrics{
+		flowMods:    r.Counter("chronus_controller_flowmods_sent_total"),
+		barriers:    r.Counter("chronus_controller_barriers_total"),
+		barrierRTT:  r.Histogram("chronus_controller_barrier_rtt_ticks", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}),
+		disconnects: r.Counter("chronus_controller_disconnects_total"),
+		statsPolls:  r.Counter("chronus_controller_stats_polls_total"),
+		packetIns:   r.Counter("chronus_controller_packetins_total"),
+	}
 }
 
 // Controller manages sessions and executes update plans.
@@ -99,6 +141,7 @@ type Controller struct {
 	h    *Harness
 	opts Options
 	rng  *rand.Rand
+	met  ctlMetrics
 
 	mu        sync.Mutex
 	sessions  map[graph.NodeID]Session
@@ -112,8 +155,6 @@ type Controller struct {
 	packetIns []*ofp.PacketIn
 	nextXID   uint32
 	notify    chan struct{}
-	// disconnects counts sessions detached because their transport died.
-	disconnects int
 }
 
 // New builds a controller on the harness.
@@ -127,10 +168,17 @@ func New(h *Harness, opts Options) *Controller {
 	if opts.ReplyTimeout <= 0 {
 		opts.ReplyTimeout = 5 * time.Second
 	}
+	if opts.Obs == nil {
+		// A private registry keeps the counters behind Disconnects()
+		// (and the rest of the tallies) alive without requiring every
+		// caller to care about telemetry.
+		opts.Obs = obs.NewRegistry()
+	}
 	return &Controller{
 		h:         h,
 		opts:      opts,
 		rng:       rand.New(rand.NewSource(opts.Seed)),
+		met:       newCtlMetrics(opts.Obs),
 		sessions:  make(map[graph.NodeID]Session),
 		replies:   make(map[uint32]ofp.Msg),
 		viaKernel: make(map[uint32]bool),
@@ -146,9 +194,11 @@ func (c *Controller) AttachAll(clock *timesync.Ensemble) {
 	}
 }
 
-// Attach creates the agent and virtual session for one switch.
+// Attach creates the agent and virtual session for one switch. The
+// agent inherits the controller's telemetry sinks.
 func (c *Controller) Attach(id graph.NodeID, clock *timesync.Ensemble) {
 	agent := switchd.New(c.h.Net, id, clock)
+	agent.SetObs(c.opts.Obs, c.opts.Trace)
 	// Asynchronous switch-to-controller notifications (PacketIn) travel
 	// the same virtual channel as replies. The miss handler fires inside a
 	// kernel event, so scheduling the delivery is safe here.
@@ -184,11 +234,10 @@ func (c *Controller) Detach(id graph.NodeID) {
 }
 
 // Disconnects reports how many attached sessions have been detached
-// because their transport failed (see sessionClosed).
+// because their transport failed (see sessionClosed). It reads the
+// chronus_controller_disconnects_total registry counter.
 func (c *Controller) Disconnects() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.disconnects
+	return int(c.met.disconnects.Value())
 }
 
 // sessionClosed detaches a dead session: called by a session's reader
@@ -205,9 +254,13 @@ func (c *Controller) sessionClosed(id graph.NodeID, s Session, err error) {
 		return
 	}
 	delete(c.sessions, id)
-	c.disconnects++
+	c.met.disconnects.Inc()
 	cb := c.opts.OnDisconnect
 	c.mu.Unlock()
+	if c.opts.Trace != nil {
+		c.opts.Trace.Point(int64(c.h.Now()), "ctl.disconnect",
+			obs.A("switch", c.h.G.Name(id)), obs.A("err", err.Error()))
+	}
 	if cb != nil {
 		cb(id, err)
 	}
@@ -228,6 +281,7 @@ func (c *Controller) RecordReply(m ofp.Msg) {
 	switch v := m.(type) {
 	case *ofp.PacketIn:
 		c.packetIns = append(c.packetIns, v)
+		c.met.packetIns.Inc()
 	case *ofp.ErrorMsg:
 		c.replies[m.Xid()] = m
 		c.asyncErrs = append(c.asyncErrs, v)
@@ -336,6 +390,16 @@ func (c *Controller) send(id graph.NodeID, m ofp.Msg) (uint32, error) {
 	if err := s.Send(m); err != nil {
 		return 0, err
 	}
+	switch v := m.(type) {
+	case *ofp.FlowMod:
+		c.met.flowMods.Inc()
+		if c.opts.Trace != nil {
+			c.opts.Trace.Point(int64(c.h.Now()), "ctl.flowmod",
+				obs.A("switch", c.h.G.Name(id)), obs.A("at", v.ExecuteAt))
+		}
+	case *ofp.StatsRequest:
+		c.met.statsPolls.Inc()
+	}
 	return x, nil
 }
 
@@ -416,6 +480,8 @@ func checkErrors(replies map[uint32]ofp.Msg) error {
 // Barrier sends BarrierRequests to the given switches and waits for all
 // replies, advancing virtual time as needed.
 func (c *Controller) Barrier(ids ...graph.NodeID) error {
+	start := c.h.Now()
+	c.met.barriers.Inc()
 	xids := make([]uint32, 0, len(ids))
 	for _, id := range ids {
 		x, err := c.send(id, &ofp.BarrierRequest{})
@@ -427,6 +493,12 @@ func (c *Controller) Barrier(ids ...graph.NodeID) error {
 	replies, err := c.await(xids)
 	if err != nil {
 		return err
+	}
+	end := c.h.Now()
+	c.met.barrierRTT.Observe(float64(end - start))
+	if c.opts.Trace != nil {
+		c.opts.Trace.Span("ctl.barrier", int64(start), int64(end),
+			obs.A("switches", len(ids)))
 	}
 	if errs := c.takeAsyncErrors(); len(errs) > 0 {
 		return fmt.Errorf("controller: switch error %d preceding barrier: %s", errs[0].Code, errs[0].Message)

@@ -29,6 +29,7 @@ import (
 
 	"github.com/chronus-sdn/chronus/internal/dynflow"
 	"github.com/chronus-sdn/chronus/internal/graph"
+	"github.com/chronus-sdn/chronus/internal/obs"
 )
 
 // Mode selects the greedy acceptance test.
@@ -72,6 +73,13 @@ type Options struct {
 	// do when the instance is infeasible (the update cannot simply be
 	// abandoned) and feeds the Fig. 8 congested-link accounting.
 	BestEffort bool
+	// Obs receives scheduler counters (candidates accepted / deferred /
+	// rejected, wake-heap jumps, validator invocations, backoff resets,
+	// dependency cycles); nil disables instrumentation.
+	Obs *obs.Registry
+	// Trace receives per-decision scheduler events stamped with the
+	// schedule tick; nil disables tracing.
+	Trace *obs.Tracer
 }
 
 // ErrInfeasible is returned when no congestion- and loop-free schedule was

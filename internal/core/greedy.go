@@ -7,6 +7,7 @@ import (
 
 	"github.com/chronus-sdn/chronus/internal/dynflow"
 	"github.com/chronus-sdn/chronus/internal/graph"
+	"github.com/chronus-sdn/chronus/internal/obs"
 )
 
 // Result carries the schedule produced by Greedy together with scheduling
@@ -58,24 +59,33 @@ func Greedy(in *dynflow.Instance, opts Options) (*Result, error) {
 	if mode == 0 {
 		mode = ModeExact
 	}
+	sm := newSchedMetrics(opts.Obs)
+	sm.runs.Inc()
 	res := &Result{Schedule: dynflow.NewSchedule(opts.Start)}
 	if len(in.UpdateSet()) == 0 {
 		if mode == ModeExact {
 			res.Report = dynflow.Validate(in, res.Schedule)
 			res.Validations++
+			sm.validations.Inc()
 		}
 		return res, nil
 	}
+	var err error
 	if mode == ModeFast {
-		return greedyFast(in, opts, res)
+		res, err = greedyFast(in, opts, sm, res)
+	} else {
+		res, err = greedyExact(in, opts, sm, res)
 	}
-	return greedyExact(in, opts, res)
+	if err == nil {
+		sm.makespan.Observe(float64(res.Schedule.Makespan()))
+	}
+	return res, err
 }
 
 // greedyExact is the validator-backed variant: per tick, try every pending
 // candidate and keep those the ground-truth validator approves. Intended
 // for the instance sizes of the quality experiments (tens of switches).
-func greedyExact(in *dynflow.Instance, opts Options, res *Result) (*Result, error) {
+func greedyExact(in *dynflow.Instance, opts Options, sm schedMetrics, res *Result) (*Result, error) {
 	s := res.Schedule
 	pending := in.UpdateSet()
 	maxTicks := opts.MaxTicks
@@ -108,32 +118,44 @@ func greedyExact(in *dynflow.Instance, opts Options, res *Result) (*Result, erro
 		order, cycleErr := candidateOrder(in, s, pending, t)
 		if cycleErr != nil {
 			res.DependencyCycles++
+			sm.cycles.Inc()
 		}
 		lc := newLoopChecker(in, s, t)
 		accepted := make(map[graph.NodeID]bool)
 		for changed := true; changed; {
 			changed = false
 			for _, cand := range order {
-				if accepted[cand.v] || sleepUntil[cand.v] > t || !lc.ok(cand.v) {
+				if accepted[cand.v] {
+					continue
+				}
+				if sleepUntil[cand.v] > t || !lc.ok(cand.v) {
+					sm.deferred.Inc()
 					continue
 				}
 				s.Set(cand.v, t)
 				res.Validations++
+				sm.validations.Inc()
 				r := dynflow.Validate(in, s)
 				if !r.OK() {
 					delete(s.Times, cand.v)
 					strikes[cand.v]++
 					backoff := dynflow.Tick(1) << minUint(strikes[cand.v]-1, 7)
 					sleepUntil[cand.v] = t + backoff
+					sm.rejected.Inc()
 					continue
 				}
 				lastReport = r
 				accepted[cand.v] = true
 				changed = true
+				sm.accepted.Inc()
+				if opts.Trace != nil {
+					opts.Trace.Point(int64(t), "sched.accept", obs.A("switch", in.G.Name(cand.v)))
+				}
 				lc = newLoopChecker(in, s, t)
 				if len(sleepUntil) > 0 {
 					sleepUntil = make(map[graph.NodeID]dynflow.Tick)
 					strikes = make(map[graph.NodeID]uint)
+					sm.backoffResets.Inc()
 				}
 			}
 		}
@@ -182,11 +204,13 @@ func greedyExact(in *dynflow.Instance, opts Options, res *Result) (*Result, erro
 				ErrInfeasible, t, len(pending))
 		}
 		t = next
+		sm.wakeJumps.Inc()
 	}
 	res.Report = lastReport
 	if res.Report == nil || res.BestEffort {
 		res.Report = dynflow.Validate(in, s)
 		res.Validations++
+		sm.validations.Inc()
 	}
 	if !res.BestEffort && !res.Report.OK() {
 		// Cannot happen: every acceptance was validator-approved and the
@@ -222,7 +246,7 @@ func (h *wakeHeap) Pop() any {
 }
 
 // greedyFast is the event-driven fast variant.
-func greedyFast(in *dynflow.Instance, opts Options, res *Result) (*Result, error) {
+func greedyFast(in *dynflow.Instance, opts Options, sm schedMetrics, res *Result) (*Result, error) {
 	s := res.Schedule
 	fs := newFastState(in)
 	maxTicks := opts.MaxTicks
@@ -243,6 +267,7 @@ func greedyFast(in *dynflow.Instance, opts Options, res *Result) (*Result, error
 	order, cycleErr := candidateOrder(in, s, in.UpdateSet(), s.Start)
 	if cycleErr != nil {
 		res.DependencyCycles++
+		sm.cycles.Inc()
 	}
 	ready := make([]graph.NodeID, 0, len(order))
 	for _, c := range order {
@@ -264,20 +289,27 @@ func greedyFast(in *dynflow.Instance, opts Options, res *Result) (*Result, error
 			}
 			if !lc.ok(v) {
 				parked = append(parked, v)
+				sm.deferred.Inc()
 				continue
 			}
 			ok, retry := fs.tryUpdate(s, v, t)
 			if !ok {
 				if retry >= neverTick {
 					parked = append(parked, v)
+					sm.deferred.Inc()
 				} else {
 					heap.Push(&wakes, wakeEvent{at: retry, v: v})
+					sm.rejected.Inc()
 				}
 				continue
 			}
 			s.Set(v, t)
 			state[v] = 2
 			pendingCount--
+			sm.accepted.Inc()
+			if opts.Trace != nil {
+				opts.Trace.Point(int64(t), "sched.accept", obs.A("switch", in.G.Name(v)))
+			}
 			// Configuration changed: refresh the snapshot checker and give
 			// the parked candidates another chance.
 			lc = newLoopChecker(in, s, t)
@@ -311,6 +343,7 @@ func greedyFast(in *dynflow.Instance, opts Options, res *Result) (*Result, error
 			return res, fmt.Errorf("%w: exceeded tick budget %d", ErrInfeasible, maxTicks)
 		}
 		t = next
+		sm.wakeJumps.Inc()
 		for len(wakes) > 0 && wakes[0].at <= t {
 			ev := heap.Pop(&wakes).(wakeEvent)
 			if state[ev.v] == 1 {
@@ -320,6 +353,7 @@ func greedyFast(in *dynflow.Instance, opts Options, res *Result) (*Result, error
 	}
 	if res.BestEffort {
 		res.Report = dynflow.Validate(in, s)
+		sm.validations.Inc()
 	}
 	return res, nil
 }

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"github.com/chronus-sdn/chronus/internal/graph"
+	"github.com/chronus-sdn/chronus/internal/obs"
 )
 
 // Tick is a discrete time step of the timed SDN.
@@ -31,6 +32,12 @@ type Instance struct {
 	Demand graph.Capacity
 	Init   graph.Path
 	Fin    graph.Path
+
+	// Obs, when set, receives validator telemetry (runs, traces walked,
+	// window sizes, dense-vs-map load accounting); nil disables it. The
+	// registry travels with the instance because Validate's signature is
+	// fixed across every scheduler and test.
+	Obs *obs.Registry
 
 	// idx caches O(1) next-hop lookups; it is rebuilt whenever the paths
 	// it was derived from change (see ensureIndex).

@@ -208,6 +208,11 @@ func Validate(in *Instance, s *Schedule) *Report {
 	start := s.Start - Tick(in.Init.Delay(in.G))
 	end := s.End()
 	r := &Report{WindowStart: start}
+	var vm validatorMetrics
+	if in.Obs != nil {
+		vm = newValidatorMetrics(in.Obs)
+		vm.runs.Inc()
+	}
 
 	// Departure ticks stay below end + 2 × (max trace duration): the last
 	// traced emission is at latestArrival <= end + maxTrace, and its own
@@ -234,17 +239,29 @@ func Validate(in *Instance, s *Schedule) *Report {
 		return arrive
 	}
 	latestArrival := end
+	traced := int64(0)
 	for e := start; e <= end; e++ {
+		traced++
 		if a := record(e); a > latestArrival {
 			latestArrival = a
 		}
 	}
 	// Pure-final emissions that can still overlap the in-flight tail.
 	for e := end + 1; e <= latestArrival; e++ {
+		traced++
 		record(e)
 	}
 	r.WindowEnd = latestArrival
 	r.LatestArrival = latestArrival
+	if in.Obs != nil {
+		vm.traces.Add(traced)
+		vm.window.Observe(float64(latestArrival - start + 1))
+		if tr.dense {
+			vm.denseLoads.Inc()
+		} else {
+			vm.mapLoads.Inc()
+		}
+	}
 
 	for _, key := range tr.touched {
 		load := tr.loadAt(key)

@@ -26,6 +26,7 @@ import (
 	"sort"
 
 	"github.com/chronus-sdn/chronus/internal/graph"
+	"github.com/chronus-sdn/chronus/internal/obs"
 	"github.com/chronus-sdn/chronus/internal/sim"
 )
 
@@ -55,6 +56,9 @@ type Network struct {
 	K        *sim.Kernel
 	switches map[graph.NodeID]*Switch
 	links    map[[2]graph.NodeID]*Link
+
+	met   emuMetrics
+	trace *obs.Tracer
 }
 
 // New builds the emulated network: one Switch per graph node, one Link per

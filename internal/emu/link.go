@@ -159,11 +159,14 @@ func (l *Link) setTotal(now sim.Time, total Rate) {
 			l.overloads[openIdx].Peak = total
 		}
 	case !over && openIdx >= 0:
+		o := l.overloads[openIdx]
 		l.overloads[openIdx].End = now
-		if l.overloads[openIdx].Start == now {
+		if o.Start == now {
 			// Zero-length blip (rate changed twice at the same instant):
 			// discard.
 			l.overloads = l.overloads[:openIdx]
+		} else {
+			l.net.overloadClosed(l, o.Start, now, o.Peak)
 		}
 	}
 }

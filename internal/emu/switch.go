@@ -235,8 +235,11 @@ func (sw *Switch) reroute(key FlowKey) {
 		rule.bytes.setRate(now, matched)
 	}
 	startedDropping := sw.updateHostCounters(now, key, deliveredRate, droppedRate)
-	if startedDropping && sw.missHandler != nil {
-		sw.missHandler(key, missReason)
+	if startedDropping {
+		sw.net.dropStarted(sw, now, key, missReason)
+		if sw.missHandler != nil {
+			sw.missHandler(key, missReason)
+		}
 	}
 
 	// Diff previous vs next per (ttl, action) and emit changes.

@@ -205,15 +205,31 @@ func (t *Table) String() string {
 	return b.String()
 }
 
-// CSV renders the table as comma-separated values (no quoting; the harness
-// emits only numeric and simple label cells).
+// CSV renders the table as RFC 4180 comma-separated values: cells
+// containing commas, double quotes, or line breaks are quoted, with
+// embedded quotes doubled. Plain numeric and label cells — everything
+// the harness emits today — render unchanged.
 func (t *Table) CSV() string {
 	var b strings.Builder
-	b.WriteString(strings.Join(t.Header, ","))
-	b.WriteByte('\n')
-	for _, row := range t.Rows {
-		b.WriteString(strings.Join(row, ","))
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(csvCell(cell))
+		}
 		b.WriteByte('\n')
 	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
 	return b.String()
+}
+
+func csvCell(s string) string {
+	if !strings.ContainsAny(s, ",\"\r\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
 }

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"encoding/csv"
 	"math"
 	"math/rand"
 	"sort"
@@ -138,5 +139,87 @@ func TestTableRendering(t *testing.T) {
 	}
 	if !strings.Contains(csv, "10,95.5,60.25") {
 		t.Fatalf("csv:\n%s", csv)
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	tb := &Table{Header: []string{"plain", "with,comma"}}
+	tb.AddRow(`say "hi"`, "line\nbreak")
+	tb.AddRow("1", "2")
+	got := tb.CSV()
+	want := "plain,\"with,comma\"\n\"say \"\"hi\"\"\",\"line\nbreak\"\n1,2\n"
+	if got != want {
+		t.Fatalf("csv = %q, want %q", got, want)
+	}
+	// encoding/csv must round-trip the quoted output.
+	recs, err := csv.NewReader(strings.NewReader(got)).ReadAll()
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if len(recs) != 3 || recs[1][0] != `say "hi"` || recs[1][1] != "line\nbreak" {
+		t.Fatalf("round-trip = %v", recs)
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty quantile not NaN")
+	}
+	xs := []float64{5, 1, 3}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Fatalf("q=0: %f", got)
+	}
+	if got := Quantile(xs, -0.5); got != 1 {
+		t.Fatalf("q<0: %f", got)
+	}
+	if got := Quantile(xs, 1); got != 5 {
+		t.Fatalf("q=1: %f", got)
+	}
+	if got := Quantile(xs, 2); got != 5 {
+		t.Fatalf("q>1: %f", got)
+	}
+	// Duplicates: every quantile of a constant sample is that constant.
+	con := []float64{7, 7, 7, 7}
+	for _, q := range []float64{0, 0.25, 0.5, 0.99, 1} {
+		if got := Quantile(con, q); got != 7 {
+			t.Fatalf("constant q=%f: %f", q, got)
+		}
+	}
+	// Single element.
+	if got := Quantile([]float64{42}, 0.73); got != 42 {
+		t.Fatalf("singleton: %f", got)
+	}
+}
+
+func TestCDFInverseEdgeCases(t *testing.T) {
+	empty := NewCDF(nil)
+	if !math.IsNaN(empty.Inverse(0.5)) || !math.IsNaN(empty.At(1)) {
+		t.Fatal("empty CDF not NaN")
+	}
+	c := NewCDF([]float64{1, 2, 2, 9})
+	if got := c.Inverse(0); got != 1 {
+		t.Fatalf("p=0: %f", got)
+	}
+	if got := c.Inverse(-1); got != 1 {
+		t.Fatalf("p<0: %f", got)
+	}
+	if got := c.Inverse(1); got != 9 {
+		t.Fatalf("p=1: %f", got)
+	}
+	if got := c.Inverse(2); got != 9 {
+		t.Fatalf("p>1: %f", got)
+	}
+	// Duplicates: the median of {1,2,2,9} is 2 and P[X <= 2] covers both
+	// copies.
+	if got := c.Inverse(0.5); got != 2 {
+		t.Fatalf("p=0.5: %f", got)
+	}
+	if got := c.At(2); got != 0.75 {
+		t.Fatalf("At(2) = %f", got)
+	}
+	// Inverse is the left-continuous quantile: the smallest x with
+	// P[X <= x] >= p.
+	if got := c.Inverse(0.76); got != 9 {
+		t.Fatalf("p=0.76: %f", got)
 	}
 }

@@ -1,0 +1,337 @@
+// Package obs is the repo's telemetry layer: a Registry of atomic
+// counters, gauges and fixed-bucket histograms with Prometheus text
+// exposition, and a Tracer emitting structured events stamped with the
+// virtual sim clock (and optionally wall time).
+//
+// The package is dependency-free (standard library only) and holds no
+// global state: every instrument belongs to an explicitly created
+// Registry or Tracer that the caller threads through options. Both
+// types and all instruments are nil-safe — methods on a nil receiver
+// are no-ops — so instrumented hot paths pay only a nil check when
+// telemetry is disabled, which keeps the experiment harness and its
+// determinism guarantees untouched by default.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if c != nil && n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value reads the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Value reads the gauge.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket cumulative histogram. Bucket bounds are
+// inclusive upper limits; an implicit +Inf bucket catches the rest.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1, last is +Inf
+	sum    atomicFloat
+	count  atomic.Int64
+}
+
+// atomicFloat accumulates a float64 with compare-and-swap.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		cur := math.Float64frombits(old)
+		if f.bits.CompareAndSwap(old, math.Float64bits(cur+v)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.sum.add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.load()
+}
+
+// Registry holds named instruments. Instrument names follow Prometheus
+// conventions and may carry a label set in braces, e.g.
+// `chronus_flowmods_total{switch="R2"}`; the part before the brace is
+// the metric family, which groups series under one # TYPE line in the
+// exposition. Lookups are idempotent: asking for an existing name
+// returns the same instrument, so packages can (re-)register their
+// instruments cheaply at construction time.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	help     map[string]string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		help:     make(map[string]string),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket upper bounds on first use (bounds are sorted and deduplicated;
+// later calls may pass nil to look the histogram up).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		bs := make([]float64, 0, len(bounds))
+		for _, b := range bounds {
+			// +Inf is implicit and NaN unorderable; drop both.
+			if !math.IsInf(b, 1) && !math.IsNaN(b) {
+				bs = append(bs, b)
+			}
+		}
+		sort.Float64s(bs)
+		uniq := bs[:0]
+		for i, b := range bs {
+			if i == 0 || b != bs[i-1] {
+				uniq = append(uniq, b)
+			}
+		}
+		h = &Histogram{bounds: uniq, counts: make([]atomic.Int64, len(uniq)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Help records the # HELP text for a metric family.
+func (r *Registry) Help(family, text string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.help[family] = text
+}
+
+// family returns the metric family of a series name (the part before
+// any label braces).
+func family(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// suffixed appends a Prometheus suffix to a series name ahead of its
+// label set: suffixed(`x{a="b"}`, "_sum") returns `x_sum{a="b"}`.
+func suffixed(name, suffix string) string {
+	fam := family(name)
+	return fam + suffix + name[len(fam):]
+}
+
+// bucketName renders a histogram bucket series, merging the le label
+// into any existing label set: bucketName(`x{a="b"}`, "5") returns
+// `x_bucket{a="b",le="5"}`.
+func bucketName(name, le string) string {
+	fam := family(name)
+	labels := name[len(fam):]
+	if labels == "" {
+		return fmt.Sprintf("%s_bucket{le=%q}", fam, le)
+	}
+	return fmt.Sprintf("%s_bucket%s,le=%q}", fam, strings.TrimSuffix(labels, "}"), le)
+}
+
+// formatValue renders a sample value the way Prometheus expects.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// formatBound renders a bucket bound for the le label.
+func formatBound(b float64) string {
+	if math.IsInf(b, 1) {
+		return "+Inf"
+	}
+	return formatValue(b)
+}
+
+// WritePrometheus renders every instrument in the text exposition
+// format (version 0.0.4), families sorted by name, series sorted within
+// each family, so the output is deterministic for a fixed set of
+// instrument values.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	type series struct {
+		name string
+		kind string // counter, gauge, histogram
+	}
+	r.mu.Lock()
+	families := make(map[string][]series)
+	add := func(name, kind string) {
+		f := family(name)
+		families[f] = append(families[f], series{name: name, kind: kind})
+	}
+	for name := range r.counters {
+		add(name, "counter")
+	}
+	for name := range r.gauges {
+		add(name, "gauge")
+	}
+	for name := range r.hists {
+		add(name, "histogram")
+	}
+	famNames := make([]string, 0, len(families))
+	for f := range families {
+		famNames = append(famNames, f)
+	}
+	sort.Strings(famNames)
+
+	var b strings.Builder
+	for _, f := range famNames {
+		ss := families[f]
+		sort.Slice(ss, func(i, j int) bool { return ss[i].name < ss[j].name })
+		if help, ok := r.help[f]; ok {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f, help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f, ss[0].kind)
+		for _, s := range ss {
+			switch s.kind {
+			case "counter":
+				fmt.Fprintf(&b, "%s %d\n", s.name, r.counters[s.name].Value())
+			case "gauge":
+				fmt.Fprintf(&b, "%s %d\n", s.name, r.gauges[s.name].Value())
+			case "histogram":
+				h := r.hists[s.name]
+				cum := int64(0)
+				for i, bound := range h.bounds {
+					cum += h.counts[i].Load()
+					fmt.Fprintf(&b, "%s %d\n", bucketName(s.name, formatBound(bound)), cum)
+				}
+				cum += h.counts[len(h.bounds)].Load()
+				fmt.Fprintf(&b, "%s %d\n", bucketName(s.name, "+Inf"), cum)
+				fmt.Fprintf(&b, "%s %s\n", suffixed(s.name, "_sum"), formatValue(h.Sum()))
+				fmt.Fprintf(&b, "%s %d\n", suffixed(s.name, "_count"), h.Count())
+			}
+		}
+	}
+	r.mu.Unlock()
+	_, err := io.WriteString(w, b.String())
+	return err
+}

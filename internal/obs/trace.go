@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Attr is one key/value annotation on a trace event. Values are
+// pre-formatted strings so that event serialization is deterministic
+// (no map iteration, no float formatting surprises).
+type Attr struct {
+	K string `json:"k"`
+	V string `json:"v"`
+}
+
+// A formats an attribute value deterministically: integers and strings
+// verbatim, everything else through %v.
+func A(k string, v any) Attr {
+	switch x := v.(type) {
+	case string:
+		return Attr{K: k, V: x}
+	default:
+		return Attr{K: k, V: fmt.Sprintf("%v", x)}
+	}
+}
+
+// Event is one structured trace record. VT is the virtual sim-clock
+// stamp in ticks (the deterministic coordinate); Wall is the wall-clock
+// stamp in Unix nanoseconds and stays zero (omitted from JSON) when the
+// tracer runs in deterministic mode. Span events carry the virtual
+// duration in Dur; point events leave it zero.
+type Event struct {
+	Seq   uint64 `json:"seq"`
+	VT    int64  `json:"vt"`
+	Wall  int64  `json:"wall,omitempty"`
+	Name  string `json:"name"`
+	Dur   int64  `json:"dur,omitempty"`
+	Attrs []Attr `json:"attrs,omitempty"`
+}
+
+// TracerOptions configures a Tracer.
+type TracerOptions struct {
+	// Wall, when set, stamps each event with a wall clock (typically
+	// func() int64 { return time.Now().UnixNano() }). Leaving it nil
+	// selects deterministic mode: events carry only virtual time, so
+	// for a fixed seed the serialized stream is byte-identical run to
+	// run.
+	Wall func() int64
+	// Cap bounds the number of retained events (default 65536); the
+	// oldest events are dropped first. Sequence numbers stay monotonic
+	// across drops so readers can detect gaps.
+	Cap int
+}
+
+// Tracer collects structured events in a bounded in-memory ring.
+// It is safe for concurrent use; a nil *Tracer is a no-op.
+type Tracer struct {
+	mu      sync.Mutex
+	events  []Event // ring, valid in [head, head+count)
+	head    int
+	count   int
+	seq     uint64
+	dropped uint64
+	wall    func() int64
+}
+
+const defaultTracerCap = 65536
+
+// NewTracer builds a tracer.
+func NewTracer(o TracerOptions) *Tracer {
+	cap := o.Cap
+	if cap <= 0 {
+		cap = defaultTracerCap
+	}
+	return &Tracer{events: make([]Event, cap), wall: o.Wall}
+}
+
+// Point records an instantaneous event at virtual time vt.
+func (t *Tracer) Point(vt int64, name string, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.add(Event{VT: vt, Name: name, Attrs: attrs})
+}
+
+// Span records an event covering virtual times [start, end].
+func (t *Tracer) Span(name string, start, end int64, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.add(Event{VT: start, Dur: end - start, Name: name, Attrs: attrs})
+}
+
+func (t *Tracer) add(e Event) {
+	t.mu.Lock()
+	t.seq++
+	e.Seq = t.seq
+	if t.wall != nil {
+		e.Wall = t.wall()
+	}
+	if t.count == len(t.events) {
+		// Ring full: overwrite the oldest.
+		t.events[t.head] = e
+		t.head = (t.head + 1) % len(t.events)
+		t.dropped++
+	} else {
+		t.events[(t.head+t.count)%len(t.events)] = e
+		t.count++
+	}
+	t.mu.Unlock()
+}
+
+// Dropped reports how many events were evicted from the ring.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Events returns the retained events with Seq > since, oldest first.
+func (t *Tracer) Events(since uint64) []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, t.count)
+	for i := 0; i < t.count; i++ {
+		e := t.events[(t.head+i)%len(t.events)]
+		if e.Seq > since {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// WriteJSONL writes the retained events with Seq > since as one JSON
+// object per line. In deterministic mode (no wall clock) the output for
+// a fixed seed is byte-identical run to run.
+func (t *Tracer) WriteJSONL(w io.Writer, since uint64) error {
+	for _, e := range t.Events(since) {
+		line, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
+}

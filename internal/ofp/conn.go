@@ -5,23 +5,83 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/chronus-sdn/chronus/internal/obs"
 )
 
-// Conn is a message-oriented view of a stream transport.
+// Conn is a message-oriented view of a stream transport. It tallies
+// sent/received messages and bytes; Stats reads the tallies, and
+// SetMeter optionally mirrors them into registry counters.
 type Conn struct {
 	rw     io.ReadWriteCloser
 	br     *bufio.Reader
+	cr     countingReader
 	sendMu sync.Mutex
+
+	sentMsgs, sentBytes atomic.Int64
+	recvMsgs, recvBytes atomic.Int64
+
+	meterMu sync.Mutex
+	meter   *ConnMeter
+}
+
+// ConnStats is a snapshot of a connection's message and byte tallies.
+type ConnStats struct {
+	SentMsgs, SentBytes int64
+	RecvMsgs, RecvBytes int64
+}
+
+// ConnMeter holds registry counters mirroring a connection's traffic;
+// any field may be nil. Several connections may share one meter, which
+// then aggregates across them.
+type ConnMeter struct {
+	SentMsgs, SentBytes *obs.Counter
+	RecvMsgs, RecvBytes *obs.Counter
+}
+
+// NewConnMeter registers the four ofp connection counters on r (nil r
+// yields a no-op meter).
+func NewConnMeter(r *obs.Registry) *ConnMeter {
+	if r != nil {
+		r.Help("chronus_ofp_messages_total", "ofp messages by direction")
+		r.Help("chronus_ofp_bytes_total", "ofp bytes by direction")
+	}
+	return &ConnMeter{
+		SentMsgs:  r.Counter(`chronus_ofp_messages_total{dir="sent"}`),
+		SentBytes: r.Counter(`chronus_ofp_bytes_total{dir="sent"}`),
+		RecvMsgs:  r.Counter(`chronus_ofp_messages_total{dir="received"}`),
+		RecvBytes: r.Counter(`chronus_ofp_bytes_total{dir="received"}`),
+	}
+}
+
+// countingReader counts the bytes Decode actually consumes (the
+// underlying bufio.Reader may buffer ahead; buffered-but-unread bytes
+// are not counted).
+type countingReader struct {
+	r io.Reader
+	n *atomic.Int64
+}
+
+func (c countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n.Add(int64(n))
+	return n, err
 }
 
 // NewConn wraps a stream (typically a net.Conn) with the codec. Reads are
 // buffered; writes are whole-message and serialized, so Send is safe for
 // concurrent use. Recv must be called from a single goroutine.
 func NewConn(rw io.ReadWriteCloser) *Conn {
-	return &Conn{rw: rw, br: bufio.NewReader(rw)}
+	c := &Conn{rw: rw, br: bufio.NewReader(rw)}
+	c.cr = countingReader{r: c.br, n: &c.recvBytes}
+	return c
 }
 
-// Dial connects to a controller or switch agent over TCP.
+// Dial connects to a controller or switch agent over TCP. It blocks for
+// as long as the OS-level connect does; use DialTimeout against peers
+// that may be unresponsive.
 func Dial(addr string) (*Conn, error) {
 	c, err := net.Dial("tcp", addr)
 	if err != nil {
@@ -30,18 +90,72 @@ func Dial(addr string) (*Conn, error) {
 	return NewConn(c), nil
 }
 
+// DialTimeout connects like Dial but gives up after timeout (zero or
+// negative means no limit).
+func DialTimeout(addr string, timeout time.Duration) (*Conn, error) {
+	c, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return NewConn(c), nil
+}
+
+// SetMeter mirrors the connection's tallies into registry counters from
+// now on (past traffic is not backfilled). nil detaches the meter.
+func (c *Conn) SetMeter(m *ConnMeter) {
+	c.meterMu.Lock()
+	c.meter = m
+	c.meterMu.Unlock()
+}
+
+func (c *Conn) meterSnapshot() *ConnMeter {
+	c.meterMu.Lock()
+	m := c.meter
+	c.meterMu.Unlock()
+	return m
+}
+
+// Stats returns the connection's current tallies.
+func (c *Conn) Stats() ConnStats {
+	return ConnStats{
+		SentMsgs:  c.sentMsgs.Load(),
+		SentBytes: c.sentBytes.Load(),
+		RecvMsgs:  c.recvMsgs.Load(),
+		RecvBytes: c.recvBytes.Load(),
+	}
+}
+
 // Send encodes and writes one message.
 func (c *Conn) Send(m Msg) error {
 	buf := Encode(m)
 	c.sendMu.Lock()
-	defer c.sendMu.Unlock()
 	_, err := c.rw.Write(buf)
-	return err
+	c.sendMu.Unlock()
+	if err != nil {
+		return err
+	}
+	c.sentMsgs.Add(1)
+	c.sentBytes.Add(int64(len(buf)))
+	if mt := c.meterSnapshot(); mt != nil {
+		mt.SentMsgs.Inc()
+		mt.SentBytes.Add(int64(len(buf)))
+	}
+	return nil
 }
 
 // Recv reads and decodes one message.
 func (c *Conn) Recv() (Msg, error) {
-	return Decode(c.br)
+	before := c.recvBytes.Load()
+	m, err := Decode(c.cr)
+	if err != nil {
+		return nil, err
+	}
+	c.recvMsgs.Add(1)
+	if mt := c.meterSnapshot(); mt != nil {
+		mt.RecvMsgs.Inc()
+		mt.RecvBytes.Add(c.recvBytes.Load() - before)
+	}
+	return m, nil
 }
 
 // Close closes the transport.

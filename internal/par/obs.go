@@ -1,0 +1,57 @@
+package par
+
+import (
+	"context"
+	"time"
+
+	"github.com/chronus-sdn/chronus/internal/obs"
+)
+
+// Meter holds the worker-pool instruments: completed-task and failure
+// counters, an in-flight gauge (the live queue depth), and a wall-clock
+// task-latency histogram. Meters observe wall time and are therefore
+// outside the deterministic-trace contract; use them to watch harness
+// throughput, not to reproduce runs.
+type Meter struct {
+	Tasks    *obs.Counter
+	Failures *obs.Counter
+	InFlight *obs.Gauge
+	Latency  *obs.Histogram // seconds
+}
+
+// NewMeter registers the pool instruments on r (nil r yields a no-op
+// meter, as does a nil *Meter).
+func NewMeter(r *obs.Registry) *Meter {
+	if r != nil {
+		r.Help("chronus_par_tasks_total", "pool tasks completed")
+		r.Help("chronus_par_task_failures_total", "pool tasks that returned an error")
+		r.Help("chronus_par_inflight_tasks", "pool tasks currently executing")
+		r.Help("chronus_par_task_latency_seconds", "wall-clock task latency")
+	}
+	return &Meter{
+		Tasks:    r.Counter("chronus_par_tasks_total"),
+		Failures: r.Counter("chronus_par_task_failures_total"),
+		InFlight: r.Gauge("chronus_par_inflight_tasks"),
+		Latency:  r.Histogram("chronus_par_task_latency_seconds", []float64{0.001, 0.01, 0.1, 0.5, 1, 5, 10, 60}),
+	}
+}
+
+// Instrument wraps a task function so each invocation is tallied on m.
+// A nil meter returns f unchanged, so uninstrumented pools pay nothing.
+func Instrument[T any](m *Meter, f func(ctx context.Context, i int) (T, error)) func(ctx context.Context, i int) (T, error) {
+	if m == nil {
+		return f
+	}
+	return func(ctx context.Context, i int) (T, error) {
+		m.InFlight.Add(1)
+		start := time.Now()
+		v, err := f(ctx, i)
+		m.Latency.Observe(time.Since(start).Seconds())
+		m.InFlight.Add(-1)
+		m.Tasks.Inc()
+		if err != nil {
+			m.Failures.Inc()
+		}
+		return v, err
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"github.com/chronus-sdn/chronus/internal/emu"
 	"github.com/chronus-sdn/chronus/internal/graph"
+	"github.com/chronus-sdn/chronus/internal/obs"
 	"github.com/chronus-sdn/chronus/internal/ofp"
 	"github.com/chronus-sdn/chronus/internal/sim"
 	"github.com/chronus-sdn/chronus/internal/timesync"
@@ -32,6 +33,9 @@ type Agent struct {
 	applied   int
 
 	notify func(ofp.Msg)
+
+	met   agentMetrics
+	trace *obs.Tracer
 }
 
 // New builds the agent for switch id. clock may be nil for a perfect local
@@ -94,8 +98,13 @@ func (a *Agent) Handle(m ofp.Msg) []ofp.Msg {
 	case *ofp.BarrierRequest:
 		// Timed FlowMods count as processed once scheduled: the barrier
 		// confirms receipt and scheduling, per the Time4 model.
+		a.met.barriers.Inc()
+		if a.trace != nil {
+			a.trace.Point(int64(a.net.K.Now()), "sw.barrier", obs.A("switch", a.sw.Name()))
+		}
 		return []ofp.Msg{&ofp.BarrierReply{XID: req.XID}}
 	case *ofp.StatsRequest:
+		a.met.statsReqs.Inc()
 		return []ofp.Msg{a.stats(req)}
 	default:
 		return []ofp.Msg{&ofp.ErrorMsg{XID: m.Xid(), Code: ofp.ErrCodeBadRequest, Message: fmt.Sprintf("unexpected %v", m.Type())}}
@@ -130,11 +139,17 @@ func (a *Agent) flowMod(m *ofp.FlowMod) error {
 		}
 	}
 	if m.ExecuteAt == 0 {
+		a.met.immediate.Inc()
+		if a.trace != nil {
+			a.trace.Point(int64(a.net.K.Now()), "sw.flowmod",
+				obs.A("switch", a.sw.Name()), obs.A("kind", "immediate"))
+		}
 		a.scheduled++
 		apply()
 		return nil
 	}
-	at := sim.Time(m.ExecuteAt)
+	requested := sim.Time(m.ExecuteAt)
+	at := requested
 	if a.clock != nil {
 		at = a.clock.ApplyTick(a.id, at)
 	}
@@ -144,8 +159,27 @@ func (a *Agent) flowMod(m *ofp.FlowMod) error {
 		// (e.g. control latency exceeded the lead time): apply now, late.
 		at = now
 	}
+	a.met.timed.Inc()
+	if a.trace != nil {
+		a.trace.Point(int64(now), "sw.flowmod",
+			obs.A("switch", a.sw.Name()), obs.A("kind", "timed"), obs.A("at", int64(requested)))
+	}
 	a.scheduled++
-	a.net.K.At(at, apply)
+	a.net.K.At(at, func() {
+		// Fire skew is measured against the controller's requested tick, so
+		// it folds in both the local clock offset and any lateness clamp.
+		skew := int64(a.net.K.Now()) - int64(requested)
+		abs := skew
+		if abs < 0 {
+			abs = -abs
+		}
+		a.met.fireSkew.Observe(float64(abs))
+		if a.trace != nil {
+			a.trace.Point(int64(a.net.K.Now()), "sw.apply",
+				obs.A("switch", a.sw.Name()), obs.A("skew", skew))
+		}
+		apply()
+	})
 	return nil
 }
 

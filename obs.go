@@ -1,0 +1,44 @@
+package chronus
+
+import (
+	"github.com/chronus-sdn/chronus/internal/controller"
+	"github.com/chronus-sdn/chronus/internal/core"
+	"github.com/chronus-sdn/chronus/internal/dynflow"
+	"github.com/chronus-sdn/chronus/internal/emu"
+	"github.com/chronus-sdn/chronus/internal/obs"
+	"github.com/chronus-sdn/chronus/internal/switchd"
+)
+
+// Telemetry types, re-exported so testbeds built on the public API can
+// collect metrics and traces (see cmd/chronusd and cmd/mutp -trace).
+type (
+	// MetricsRegistry holds named counters, gauges and histograms and
+	// renders them in the Prometheus text exposition format.
+	MetricsRegistry = obs.Registry
+	// Tracer records structured events stamped with virtual time; with no
+	// wall-clock source configured its output is deterministic for a
+	// fixed seed.
+	Tracer = obs.Tracer
+	// TracerOptions configures a Tracer (wall-clock source, ring size).
+	TracerOptions = obs.TracerOptions
+	// TraceEvent is one recorded trace event.
+	TraceEvent = obs.Event
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewTracer returns a tracer. The zero TracerOptions give a
+// deterministic tracer (events carry virtual time only).
+func NewTracer(o TracerOptions) *Tracer { return obs.NewTracer(o) }
+
+// RegisterAllMetrics pre-registers every chronus metric family on r —
+// scheduler, validator, controller, switch agents and data plane — so an
+// exposition is complete before the first event is recorded.
+func RegisterAllMetrics(r *MetricsRegistry) {
+	core.RegisterMetrics(r)
+	dynflow.RegisterMetrics(r)
+	controller.RegisterMetrics(r)
+	switchd.RegisterMetrics(r)
+	emu.RegisterMetrics(r)
+}
