@@ -131,6 +131,15 @@ func Solve(in *Instance, o SolveOptions) (*Plan, error) {
 // congestion (Definition 3), loops (Definition 2) and blackholes.
 func Validate(in *Instance, s *Schedule) *Report { return dynflow.Validate(in, s) }
 
+// SwitchSlack is one switch's scheduling tolerance (see ScheduleSlack).
+type SwitchSlack = core.SwitchSlack
+
+// ScheduleSlack computes, per scheduled switch, how many ticks its
+// activation may slip before the schedule stops validating clean — the
+// analytic counterpart of the trace-derived critical path the audit
+// tooling reports. Zero-slack switches are the schedule's critical path.
+func ScheduleSlack(in *Instance, s *Schedule) []SwitchSlack { return core.ScheduleSlack(in, s) }
+
 // Feasible runs the polynomial tree algorithm (Algorithm 1): it decides
 // whether any congestion- and loop-free schedule exists, for instances
 // whose links share one transmission delay.

@@ -14,6 +14,8 @@
 //	GET  /bandwidth?from=R2&to=R10&interval=50&samples=10
 //	GET  /metrics                    Prometheus text exposition
 //	GET  /trace?since=42             structured event trace as JSONL
+//	GET  /trace?since=42&limit=100   one page of events as JSON, with a next cursor
+//	GET  /audit                      consistency-audit report over the recorded trace
 //	POST /advance  {"ticks": 100}    advance virtual time
 //	POST /update   {"method": "chronus"}   chronus | chronus-fast | tp | or
 //

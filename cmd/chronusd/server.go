@@ -12,6 +12,7 @@ import (
 	"time"
 
 	chronus "github.com/chronus-sdn/chronus"
+	"github.com/chronus-sdn/chronus/internal/audit"
 	"github.com/chronus-sdn/chronus/internal/ofp"
 )
 
@@ -41,7 +42,11 @@ func newServer(seed int64) (*server, error) {
 	// Pre-register every family so /metrics is complete from boot, before
 	// the first update or validation touches an instrument.
 	chronus.RegisterAllMetrics(reg)
-	tracer := chronus.NewTracer(chronus.TracerOptions{Wall: func() int64 { return time.Now().UnixNano() }})
+	reg.Help("chronus_trace_dropped_events_total", "Trace events evicted from the tracer ring buffer.")
+	tracer := chronus.NewTracer(chronus.TracerOptions{
+		Wall:  func() int64 { return time.Now().UnixNano() },
+		Drops: reg.Counter("chronus_trace_dropped_events_total"),
+	})
 	in.Obs = reg
 	srv := &server{
 		in:     in,
@@ -90,7 +95,19 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST /update", s.handleUpdate)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /trace", s.handleTrace)
+	mux.HandleFunc("GET /audit", s.handleAudit)
 	return mux
+}
+
+// handleAudit replays the full recorded trace through the consistency
+// auditor and returns its report: reconstructed congestion intervals and
+// forwarding loops with per-violation evidence, the cross-check against
+// the emulator's own overload spans, and the critical path of the last
+// timed update.
+func (s *server) handleAudit(w http.ResponseWriter, r *http.Request) {
+	a := audit.New()
+	a.Feed(s.tracer.Events(0)...)
+	writeJSON(w, http.StatusOK, a.Report())
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -100,7 +117,9 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 // handleTrace streams the recorded trace events as JSON Lines; ?since=N
 // skips events with sequence numbers <= N, so pollers can tail the ring
-// incrementally.
+// incrementally. With ?limit=N the response is instead a JSON envelope
+// holding at most N events, the cursor to pass as since on the next
+// page, and the tracer's eviction count.
 func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	var since uint64
 	if q := r.URL.Query().Get("since"); q != "" {
@@ -111,7 +130,22 @@ func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		}
 		since = v
 	}
+	if q := r.URL.Query().Get("limit"); q != "" {
+		limit, err := strconv.Atoi(q)
+		if err != nil || limit <= 0 {
+			writeErr(w, http.StatusBadRequest, errors.New("bad limit: want a positive integer"))
+			return
+		}
+		events, next := s.tracer.Page(since, limit)
+		writeJSON(w, http.StatusOK, map[string]any{
+			"events":  events,
+			"next":    next,
+			"dropped": s.tracer.Dropped(),
+		})
+		return
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Chronus-Trace-Dropped", strconv.FormatUint(s.tracer.Dropped(), 10))
 	_ = s.tracer.WriteJSONL(w, since)
 }
 

@@ -256,3 +256,152 @@ func TestDaemonRejectsBadRequests(t *testing.T) {
 		t.Fatalf("bad ticks: %s", resp.Status)
 	}
 }
+
+func TestDaemonTracePaging(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, result := postJSON(t, ts.URL+"/update", `{"method": "chronus"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("update: %s (%v)", resp.Status, result)
+	}
+
+	type page struct {
+		Events []struct {
+			Seq  uint64 `json:"seq"`
+			Name string `json:"name"`
+		} `json:"events"`
+		Next    uint64 `json:"next"`
+		Dropped uint64 `json:"dropped"`
+	}
+	var p1 page
+	getJSON(t, ts.URL+"/trace?limit=5", &p1)
+	if len(p1.Events) != 5 || p1.Next != p1.Events[4].Seq {
+		t.Fatalf("page 1 = %+v", p1)
+	}
+	if p1.Dropped != 0 {
+		t.Fatalf("dropped = %d, want 0 (ring is far from full)", p1.Dropped)
+	}
+
+	// The next page resumes exactly after the cursor.
+	var p2 page
+	getJSON(t, fmt.Sprintf("%s/trace?since=%d&limit=5", ts.URL, p1.Next), &p2)
+	if len(p2.Events) != 5 || p2.Events[0].Seq <= p1.Next {
+		t.Fatalf("page 2 = %+v", p2)
+	}
+
+	// Walking pages to exhaustion reaches a fixed point: empty page, cursor
+	// unchanged.
+	cursor := p2.Next
+	for i := 0; i < 10000; i++ {
+		var p page
+		getJSON(t, fmt.Sprintf("%s/trace?since=%d&limit=500", ts.URL, cursor), &p)
+		if len(p.Events) == 0 {
+			if p.Next != cursor {
+				t.Fatalf("empty page moved the cursor: %d -> %d", cursor, p.Next)
+			}
+			break
+		}
+		cursor = p.Next
+	}
+
+	resp, err := http.Get(ts.URL + "/trace?limit=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("limit=0: %s, want 400", resp.Status)
+	}
+}
+
+// TestDaemonAuditEndpoint checks the runtime auditor over the daemon's
+// real trace: a chronus timed update must audit clean, while an OR
+// (barrier-paced) update must be flagged with congestion evidence that
+// matches the emulator's own overload spans.
+func TestDaemonAuditEndpoint(t *testing.T) {
+	type report struct {
+		Events     int `json:"events"`
+		Congestion []struct {
+			Link  string `json:"link"`
+			Start int64  `json:"start"`
+			End   int64  `json:"end"`
+			Peak  int64  `json:"peak"`
+		} `json:"congestion"`
+		Loops          []map[string]any `json:"loops"`
+		Blackholes     []map[string]any `json:"blackholes"`
+		EmuOverloads   int              `json:"emu_overloads"`
+		DetectorsAgree bool             `json:"detectors_agree"`
+		Critical       struct {
+			Gating   string `json:"gating"`
+			Makespan int64  `json:"makespan"`
+		} `json:"critical"`
+	}
+
+	t.Run("chronus-clean", func(t *testing.T) {
+		_, ts := newTestServer(t)
+		resp, result := postJSON(t, ts.URL+"/update", `{"method": "chronus"}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("update: %s (%v)", resp.Status, result)
+		}
+		var rep report
+		getJSON(t, ts.URL+"/audit", &rep)
+		if rep.Events == 0 {
+			t.Fatal("audit saw no events")
+		}
+		if len(rep.Congestion)+len(rep.Loops)+len(rep.Blackholes) != 0 {
+			t.Fatalf("chronus update flagged: %+v", rep)
+		}
+		if !rep.DetectorsAgree {
+			t.Fatalf("detectors disagree: %+v", rep)
+		}
+		if rep.Critical.Gating == "" {
+			t.Fatalf("no critical path over a timed update: %+v", rep.Critical)
+		}
+	})
+
+	t.Run("or-flagged", func(t *testing.T) {
+		_, ts := newTestServer(t)
+		resp, result := postJSON(t, ts.URL+"/update", `{"method": "or"}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("update: %s (%v)", resp.Status, result)
+		}
+		var rep report
+		getJSON(t, ts.URL+"/audit", &rep)
+		if len(rep.Congestion) == 0 {
+			t.Fatalf("OR update not flagged for congestion: %+v", rep)
+		}
+		for _, c := range rep.Congestion {
+			if c.Link == "" || c.End <= c.Start || c.Peak == 0 {
+				t.Fatalf("congestion lacks link/tick evidence: %+v", c)
+			}
+		}
+		if !rep.DetectorsAgree || rep.EmuOverloads != len(rep.Congestion) {
+			t.Fatalf("reconstruction disagrees with emulator: agree=%v emu=%d rec=%d",
+				rep.DetectorsAgree, rep.EmuOverloads, len(rep.Congestion))
+		}
+	})
+}
+
+func TestDaemonTraceDroppedCounterExposed(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "chronus_trace_dropped_events_total") {
+		t.Fatal("exposition missing chronus_trace_dropped_events_total")
+	}
+	resp, err = http.Get(ts.URL + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Chronus-Trace-Dropped"); got != "0" {
+		t.Fatalf("X-Chronus-Trace-Dropped = %q, want 0", got)
+	}
+}

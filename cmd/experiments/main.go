@@ -9,6 +9,7 @@
 //	experiments -run fig7,fig8  # subset
 //	experiments -csv out/       # also write CSV files
 //	experiments -procs 1        # serial reference path (default: all CPUs)
+//	experiments -bench-json b.json  # machine-readable runtime/coverage summary
 //
 // The harness fans its independent per-(size, run) tasks out over -procs
 // workers; each task derives its own seeded RNG and results merge in a
@@ -19,6 +20,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -46,6 +48,7 @@ func run(args []string, w io.Writer) error {
 	runList := fs.String("run", "all", "comma-separated subset: tab2,fig6,fig7,fig8,fig9,fig10,fig11,ablations")
 	csvDir := fs.String("csv", "", "directory to also write CSV tables into")
 	procs := fs.Int("procs", runtime.GOMAXPROCS(0), "parallel experiment workers; 1 reproduces the serial path byte for byte")
+	benchJSON := fs.String("bench-json", "", "write a machine-readable run summary (per-experiment wall time, per-table rows, audit tallies) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -61,8 +64,16 @@ func run(args []string, w io.Writer) error {
 	all := want["all"]
 	selected := func(k string) bool { return all || want[k] }
 
+	bench := &benchSummary{
+		Seed:        *seed,
+		Quick:       *quick,
+		Procs:       *procs,
+		Experiments: map[string]float64{},
+		Tables:      map[string]benchTable{},
+	}
 	emit := func(name, title string, t *metrics.Table) error {
 		fmt.Fprintf(w, "\n### %s — %s\n\n%s", name, title, t)
+		bench.Tables[name] = benchTable{Columns: len(t.Header), Rows: len(t.Rows)}
 		if *csvDir == "" {
 			return nil
 		}
@@ -76,7 +87,9 @@ func run(args []string, w io.Writer) error {
 		if err := f(); err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
-		fmt.Fprintf(w, "\n[%s took %v]\n", name, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		bench.Experiments[name] = elapsed.Seconds()
+		fmt.Fprintf(w, "\n[%s took %v]\n", name, elapsed.Round(time.Millisecond))
 		return nil
 	}
 
@@ -114,6 +127,10 @@ func run(args []string, w io.Writer) error {
 			f7, f8, err := expt.EvaluateQuality(cfg)
 			if err != nil {
 				return err
+			}
+			for _, p := range f7.Audit {
+				bench.Audit.Checks += p.Checks
+				bench.Audit.Agree += p.Agree
 			}
 			if selected("fig7") {
 				if err := emit("fig7", "Fig. 7: % congestion-free update instances", f7.Table()); err != nil {
@@ -188,5 +205,38 @@ func run(args []string, w io.Writer) error {
 			return err
 		}
 	}
+	if *benchJSON != "" {
+		data, err := json.MarshalIndent(bench, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*benchJSON, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nbench summary written to %s\n", *benchJSON)
+	}
 	return nil
+}
+
+// benchSummary is the -bench-json payload: enough for CI and tooling to
+// track runtime and coverage per experiment without parsing the text
+// tables.
+type benchSummary struct {
+	Seed  int64 `json:"seed"`
+	Quick bool  `json:"quick"`
+	Procs int   `json:"procs"`
+	// Experiments maps experiment name to wall-clock seconds.
+	Experiments map[string]float64 `json:"experiments"`
+	// Tables maps emitted table name to its shape.
+	Tables map[string]benchTable `json:"tables"`
+	// Audit sums the Fig. 7 validator-versus-auditor cross-check.
+	Audit struct {
+		Checks int `json:"checks"`
+		Agree  int `json:"agree"`
+	} `json:"audit"`
+}
+
+type benchTable struct {
+	Columns int `json:"columns"`
+	Rows    int `json:"rows"`
 }

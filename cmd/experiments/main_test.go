@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -70,5 +71,39 @@ func TestRunProcsByteIdenticalCSVs(t *testing.T) {
 		if !bytes.Equal(serial, parallel) {
 			t.Errorf("%s differs between -procs 1 and -procs 8:\n--- procs=1:\n%s\n--- procs=8:\n%s", e.Name(), serial, parallel)
 		}
+	}
+}
+
+func TestRunBenchJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "-run", "fig7", "-bench-json", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bench struct {
+		Seed        int64                 `json:"seed"`
+		Quick       bool                  `json:"quick"`
+		Experiments map[string]float64    `json:"experiments"`
+		Tables      map[string]struct{ Columns, Rows int } `json:"tables"`
+		Audit       struct{ Checks, Agree int }            `json:"audit"`
+	}
+	if err := json.Unmarshal(data, &bench); err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	if !bench.Quick || bench.Seed != 1 {
+		t.Fatalf("bench = %+v", bench)
+	}
+	if bench.Experiments["fig7+fig8"] <= 0 {
+		t.Fatalf("no wall time recorded: %+v", bench.Experiments)
+	}
+	if tb := bench.Tables["fig7"]; tb.Rows == 0 || tb.Columns == 0 {
+		t.Fatalf("fig7 table shape missing: %+v", bench.Tables)
+	}
+	if bench.Audit.Checks == 0 || bench.Audit.Agree != bench.Audit.Checks {
+		t.Fatalf("audit tally = %+v, want full validator/auditor agreement", bench.Audit)
 	}
 }

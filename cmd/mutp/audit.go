@@ -1,0 +1,75 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	chronus "github.com/chronus-sdn/chronus"
+	"github.com/chronus-sdn/chronus/internal/audit"
+)
+
+// runAudit executes the schedule on the emulated testbed, feeds the
+// resulting trace to the consistency auditor and renders its verdict —
+// an independent re-check of the congestion- and loop-freedom the
+// validator certified analytically, this time over what the switches
+// actually did. It also prints the analytic per-switch slack so the
+// trace-derived critical path can be compared against the validator's
+// view of which activations are timing-critical.
+func runAudit(out io.Writer, in *chronus.Instance, s *chronus.Schedule, seed int64, jsonPath string) error {
+	tracer, err := executeOnTestbed(in, s, seed)
+	if err != nil {
+		return err
+	}
+	a := audit.New()
+	a.Feed(tracer.Events(0)...)
+	rep := a.Report()
+	fmt.Fprintln(out)
+	rep.Render(out)
+	printSlack(out, in, s)
+	if jsonPath != "" {
+		return writeAuditJSON(rep, jsonPath)
+	}
+	return nil
+}
+
+// auditFromFile audits a previously captured JSONL trace (the output of
+// -trace or the chronusd /trace endpoint) offline, with no instance or
+// schedule needed.
+func auditFromFile(out io.Writer, path, jsonPath string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	a := audit.New()
+	if err := a.ReadJSONL(f); err != nil {
+		return err
+	}
+	rep := a.Report()
+	rep.Render(out)
+	if jsonPath != "" {
+		return writeAuditJSON(rep, jsonPath)
+	}
+	return nil
+}
+
+func printSlack(out io.Writer, in *chronus.Instance, s *chronus.Schedule) {
+	fmt.Fprintln(out, "analytic slack (validator): ticks each activation may slip; * = critical")
+	for _, sl := range chronus.ScheduleSlack(in, s) {
+		mark := " "
+		if sl.Critical {
+			mark = "*"
+		}
+		fmt.Fprintf(out, "%s %-8s tick %-5d slack %d\n", mark, in.G.Name(sl.V), sl.Time, sl.Slack)
+	}
+}
+
+func writeAuditJSON(rep *audit.Report, path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

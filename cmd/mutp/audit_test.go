@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLIAuditGolden pins the full -audit output for the fig1 one-shot
+// baseline byte for byte: the auditor's report is a pure function of the
+// deterministic trace, so any drift in event emission, reconstruction or
+// rendering shows up here.
+func TestCLIAuditGolden(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "audit_fig1_oneshot.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runCLI(t, "-instance", "fig1", "-scheme", "oneshot", "-audit")
+	if got != string(want) {
+		t.Fatalf("audit output drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestCLIAuditCleanOnChronusSchedule(t *testing.T) {
+	out := runCLI(t, "-instance", "fig1", "-scheme", "chronus", "-audit")
+	for _, want := range []string{
+		"audit: PASS — 0 violation(s)",
+		"cross-check: reconstructed congestion matches the emulator",
+		"critical path:",
+		"analytic slack",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "looped") && !strings.Contains(out, "0 looped") {
+		t.Fatalf("clean schedule replay should not loop:\n%s", out)
+	}
+}
+
+// TestCLIAuditFlagsOneShotCongestion checks the auditor catches both
+// invariants on the emulation topology, where the one-shot update causes
+// transient congestion as well as loops, with per-link tick evidence.
+func TestCLIAuditFlagsOneShotCongestion(t *testing.T) {
+	out := runCLI(t, "-instance", "emulation", "-scheme", "oneshot", "-audit")
+	for _, want := range []string{
+		"audit: FAIL",
+		"congestion:",
+		"over cap",
+		"transient-loop",
+		"cross-check: reconstructed congestion matches the emulator",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCLIAuditOffline replays a captured trace file through -audit-from
+// and checks the verdict matches the live audit, including the JSON
+// report sidecar.
+func TestCLIAuditOffline(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.jsonl")
+	runCLI(t, "-instance", "fig1", "-scheme", "oneshot", "-trace", trace)
+
+	jsonPath := filepath.Join(dir, "report.json")
+	out := runCLI(t, "-audit-from", trace, "-audit-json", jsonPath)
+	if !strings.Contains(out, "audit: FAIL — 3 violation(s)") {
+		t.Fatalf("offline audit should flag the one-shot trace:\n%s", out)
+	}
+
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Events int `json:"events"`
+		Loops  []struct {
+			Kind  string `json:"kind"`
+			Cycle string `json:"cycle"`
+			Tick  int64  `json:"tick"`
+		} `json:"loops"`
+		DetectorsAgree bool `json:"detectors_agree"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("parse %s: %v", jsonPath, err)
+	}
+	if rep.Events == 0 || len(rep.Loops) != 3 || !rep.DetectorsAgree {
+		t.Fatalf("report = %+v", rep)
+	}
+	for _, l := range rep.Loops {
+		if l.Kind != "transient-loop" || l.Cycle == "" || l.Tick == 0 {
+			t.Fatalf("loop lacks evidence: %+v", l)
+		}
+	}
+}
+
+func TestCLIAuditRequiresTimedScheme(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-instance", "fig1", "-scheme", "or", "-audit"}, &buf); err == nil {
+		t.Fatal("-audit with round-based scheme accepted")
+	}
+}

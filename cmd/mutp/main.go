@@ -52,15 +52,22 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("mutp", flag.ContinueOnError)
 	instance := fs.String("instance", "fig1", "instance: fig1, emulation, random, or a JSON file path")
-	scheme := fs.String("scheme", "chronus", "scheduler: chronus, chronus-fast, opt, or, tree, all")
+	scheme := fs.String("scheme", "chronus", "scheduler: chronus, chronus-fast, opt, or, tree, oneshot, all")
 	n := fs.Int("n", 20, "switch count for -instance random")
 	seed := fs.Int64("seed", 1, "seed for -instance random")
 	jsonOut := fs.Bool("json", false, "emit the schedule as JSON")
 	dot := fs.Bool("dot", false, "emit the topology as Graphviz DOT (initial path blue, final dashed green) and exit")
 	bestEffort := fs.Bool("best-effort", false, "return a schedule even when no violation-free one exists")
 	traceFile := fs.String("trace", "", "execute the schedule on the emulated testbed and write its event trace (JSONL) to this file")
+	auditRun := fs.Bool("audit", false, "execute the schedule on the emulated testbed and audit the trace for consistency violations")
+	auditJSON := fs.String("audit-json", "", "with -audit (or -audit-from): also write the audit report as JSON to this file")
+	auditFrom := fs.String("audit-from", "", "audit a previously captured JSONL trace file offline and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *auditFrom != "" {
+		return auditFromFile(out, *auditFrom, *auditJSON)
 	}
 
 	in, err := loadInstance(*instance, *n, *seed)
@@ -81,7 +88,7 @@ func run(args []string, out io.Writer) error {
 	if *scheme == "all" {
 		schemes = []string{"chronus", "chronus-fast", "opt", "or", "tree"}
 	}
-	traced := false
+	traced, audited := false, false
 	for _, sch := range schemes {
 		sched, err := solveOne(out, in, sch, *bestEffort, *jsonOut)
 		if err != nil {
@@ -93,9 +100,18 @@ func run(args []string, out io.Writer) error {
 			}
 			traced = true
 		}
+		if *auditRun && sched != nil && !audited {
+			if err := runAudit(out, in, sched, *seed, *auditJSON); err != nil {
+				return err
+			}
+			audited = true
+		}
 	}
 	if *traceFile != "" && !traced {
-		return errors.New("-trace needs a feasible timed schedule (scheme chronus, chronus-fast or opt)")
+		return errors.New("-trace needs a feasible timed schedule (scheme chronus, chronus-fast, opt or oneshot)")
+	}
+	if *auditRun && !audited {
+		return errors.New("-audit needs a feasible timed schedule (scheme chronus, chronus-fast, opt or oneshot)")
 	}
 	return nil
 }
@@ -186,6 +202,18 @@ func solveOne(out io.Writer, in *chronus.Instance, scheme string, bestEffort, js
 		}
 		fmt.Fprintln(out, "(order replacement ignores capacities and delays; replay it on the validator to see transients)")
 		return nil, nil
+	case "oneshot":
+		// The naive baseline: flip every switch simultaneously. It never
+		// shows an instantaneous configuration cycle, yet in-flight
+		// packets loop or collide — exactly the transients the validator
+		// and the runtime auditor must both flag.
+		s := chronus.NewSchedule(0)
+		for _, v := range in.UpdateSet() {
+			s.Set(v, 0)
+		}
+		printSchedule(out, in, s, jsonOut)
+		fmt.Fprintf(out, "validation: %s\n", chronus.Validate(in, s).Summary())
+		return s, nil
 	case "tree":
 		ok, err := chronus.Feasible(in)
 		if err != nil {

@@ -16,13 +16,12 @@ import (
 // FlowMods.
 const traceHeadroom = 50
 
-// executeTrace replays the solved schedule on an emulated testbed with a
-// deterministic tracer attached, writes the raw events as JSON Lines to
-// path, and renders a per-switch timeline (schedule tick, FlowMod
-// arrival, barrier, activation). For a fixed instance and seed the
-// written file is byte-identical across runs: events carry virtual time
-// only and the control-latency model is seeded.
-func executeTrace(out io.Writer, in *chronus.Instance, s *chronus.Schedule, seed int64, path string) error {
+// executeOnTestbed replays a solved schedule on an emulated testbed with
+// a deterministic tracer attached and returns the tracer once the data
+// plane has drained. For a fixed instance and seed the recorded events
+// are identical across runs: they carry virtual time only and the
+// control-latency model is seeded.
+func executeOnTestbed(in *chronus.Instance, s *chronus.Schedule, seed int64) (*chronus.Tracer, error) {
 	reg := chronus.NewMetricsRegistry()
 	tracer := chronus.NewTracer(chronus.TracerOptions{})
 	tb := chronus.NewTestbed(in.G)
@@ -32,7 +31,7 @@ func executeTrace(out io.Writer, in *chronus.Instance, s *chronus.Schedule, seed
 
 	flow := chronus.FlowSpec{Name: "f", Tag: 0, Path: in.Init, Rate: chronus.Rate(in.Demand)}
 	if err := ctl.Provision(flow); err != nil {
-		return err
+		return nil, err
 	}
 	tb.AdvanceBy(traceHeadroom)
 
@@ -47,11 +46,23 @@ func executeTrace(out io.Writer, in *chronus.Instance, s *chronus.Schedule, seed
 		tracer.Point(int64(shifted.Times[v]), "sched", obs.A("switch", in.G.Name(v)))
 	}
 	if err := ctl.ExecuteTimed(in, shifted, flow); err != nil {
-		return err
+		return nil, err
 	}
 	// Run past the last activation plus a full drain of both paths.
 	drain := chronus.SimTime(in.Init.Delay(in.G)+in.Fin.Delay(in.G)) + 10
 	tb.AdvanceTo(chronus.SimTime(shifted.End()) + drain)
+	return tracer, nil
+}
+
+// executeTrace runs the schedule via executeOnTestbed, writes the raw
+// events as JSON Lines to path, and renders a per-switch timeline
+// (schedule tick, FlowMod arrival, barrier, activation). The written
+// file is byte-identical across runs for a fixed instance and seed.
+func executeTrace(out io.Writer, in *chronus.Instance, s *chronus.Schedule, seed int64, path string) error {
+	tracer, err := executeOnTestbed(in, s, seed)
+	if err != nil {
+		return err
+	}
 
 	f, err := os.Create(path)
 	if err != nil {

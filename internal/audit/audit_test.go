@@ -1,0 +1,215 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/chronus-sdn/chronus/internal/obs"
+)
+
+// ev builds a test event; attrs alternate key, value.
+func ev(seq uint64, vt int64, name string, attrs ...string) obs.Event {
+	e := obs.Event{Seq: seq, VT: vt, Name: name}
+	for i := 0; i+1 < len(attrs); i += 2 {
+		e.Attrs = append(e.Attrs, obs.Attr{K: attrs[i], V: attrs[i+1]})
+	}
+	return e
+}
+
+func TestCongestionReconstruction(t *testing.T) {
+	a := New()
+	// One link with cap 10: key f/0 at 8 from tick 5, key g/0 at 8 from
+	// tick 7 (total 16 > 10), g/0 gone at tick 12.
+	a.Feed(
+		ev(1, 5, "emu.rate", "link", "v1>v2", "key", "f/0", "rate", "8", "total", "8", "cap", "10", "delay", "1"),
+		ev(2, 7, "emu.rate", "link", "v1>v2", "key", "g/0", "rate", "8", "total", "16", "cap", "10", "delay", "1"),
+		ev(3, 12, "emu.rate", "link", "v1>v2", "key", "g/0", "rate", "0", "total", "8", "cap", "10", "delay", "1"),
+		// The emulator's own span for the same overload.
+		obs.Event{Seq: 4, VT: 7, Dur: 5, Name: "emu.overload", Attrs: []obs.Attr{
+			{K: "link", V: "v1>v2"}, {K: "peak", V: "16"}, {K: "cap", V: "10"}}},
+	)
+	r := a.Report()
+	if len(r.Congestion) != 1 {
+		t.Fatalf("congestion = %+v, want 1 interval", r.Congestion)
+	}
+	c := r.Congestion[0]
+	if c.Link != "v1>v2" || c.Start != 7 || c.End != 12 || c.Peak != 16 || c.Cap != 10 {
+		t.Errorf("interval = %+v", c)
+	}
+	if want := []string{"f/0", "g/0"}; len(c.Keys) != 2 || c.Keys[0] != want[0] || c.Keys[1] != want[1] {
+		t.Errorf("keys = %v, want %v", c.Keys, want)
+	}
+	if !r.DetectorsAgree || r.EmuOverloads != 1 {
+		t.Errorf("DetectorsAgree=%v EmuOverloads=%d, want agreement with 1 span", r.DetectorsAgree, r.EmuOverloads)
+	}
+	if r.OK() {
+		t.Error("report with congestion must not be OK")
+	}
+}
+
+func TestDetectorDisagreementIsNoted(t *testing.T) {
+	a := New()
+	// Emulator claims an overload the rate stream does not support.
+	a.Feed(obs.Event{Seq: 1, VT: 7, Dur: 5, Name: "emu.overload", Attrs: []obs.Attr{
+		{K: "link", V: "v1>v2"}, {K: "peak", V: "16"}, {K: "cap", V: "10"}}})
+	r := a.Report()
+	if r.DetectorsAgree {
+		t.Error("detectors must disagree when the rate stream shows no overload")
+	}
+	if len(r.Notes) == 0 {
+		t.Error("disagreement should leave a note")
+	}
+}
+
+func TestConfigCycleDetected(t *testing.T) {
+	a := New()
+	// v1 -> v2 installed, then v2 -> v1 at the same tick: instantaneous cycle.
+	a.Feed(
+		ev(1, 10, "sw.flowmod", "switch", "v1", "kind", "immediate", "key", "f/0", "cmd", "add", "next", "v2"),
+		ev(2, 10, "sw.flowmod", "switch", "v2", "kind", "immediate", "key", "f/0", "cmd", "add", "next", "v1"),
+	)
+	r := a.Report()
+	if len(r.Loops) != 1 {
+		t.Fatalf("loops = %+v, want 1", r.Loops)
+	}
+	l := r.Loops[0]
+	if l.Kind != "config-cycle" || l.Tick != 10 || l.Cycle != "v1>v2>v1" {
+		t.Errorf("loop = %+v", l)
+	}
+}
+
+func TestTransientLoopViaReplay(t *testing.T) {
+	// Initial path v1->v2->host. At tick 20, v1 flips to v3 and v3 points
+	// back to v1 — but v1's flip lands at 20 while a packet emitted at 19
+	// is still in flight toward v2: no instantaneous cycle ever exists
+	// (v1->v3, v3->v1 *is* one; make it v3 -> v1 installed at 20 and v1
+	// -> v3 at 21 so each instant is acyclic, yet a packet leaving v1 at
+	// 21 reaches v3 at 22 and is sent back to v1, which now points to v3:
+	// an in-flight loop).
+	a := New()
+	a.Feed(
+		// Provisioning at tick 0.
+		ev(1, 0, "sw.flowmod", "switch", "v1", "kind", "immediate", "key", "f/0", "cmd", "add", "next", "v2"),
+		ev(2, 0, "sw.flowmod", "switch", "v2", "kind", "immediate", "key", "f/0", "cmd", "add", "next", "host"),
+		ev(3, 1, "emu.inject", "switch", "v1", "key", "f/0", "rate", "5"),
+		// Delays become known from rate events.
+		ev(4, 1, "emu.rate", "link", "v1>v2", "key", "f/0", "rate", "5", "total", "5", "cap", "10", "delay", "1"),
+		ev(5, 1, "emu.rate", "link", "v1>v3", "key", "f/0", "rate", "0", "total", "0", "cap", "10", "delay", "1"),
+		ev(6, 1, "emu.rate", "link", "v3>v1", "key", "f/0", "rate", "0", "total", "0", "cap", "10", "delay", "1"),
+		// The update: v3 -> v1 at tick 20, v1 -> v3 at tick 21.
+		ev(7, 20, "sw.apply", "switch", "v3", "skew", "0", "at", "20", "key", "f/0", "cmd", "add", "next", "v1"),
+		ev(8, 21, "sw.apply", "switch", "v1", "skew", "0", "at", "21", "key", "f/0", "cmd", "mod", "next", "v3"),
+	)
+	r := a.Report()
+	var transient []LoopViolation
+	for _, l := range r.Loops {
+		if l.Kind == "transient-loop" {
+			transient = append(transient, l)
+		}
+	}
+	if len(transient) != 1 {
+		t.Fatalf("loops = %+v, want one transient-loop", r.Loops)
+	}
+	if transient[0].Cycle != "v1>v3>v1" {
+		t.Errorf("cycle = %q, want v1>v3>v1", transient[0].Cycle)
+	}
+	if r.Replay.Looped == 0 || r.Replay.Delivered == 0 {
+		t.Errorf("replay = %+v, want both delivered and looped emissions", r.Replay)
+	}
+}
+
+func TestCleanTimedUpdateAuditsClean(t *testing.T) {
+	a := New()
+	a.Feed(
+		ev(1, 0, "sw.flowmod", "switch", "v1", "kind", "immediate", "key", "f/0", "cmd", "add", "next", "v2"),
+		ev(2, 0, "sw.flowmod", "switch", "v2", "kind", "immediate", "key", "f/0", "cmd", "add", "next", "host"),
+		ev(3, 1, "emu.inject", "switch", "v1", "key", "f/0", "rate", "5"),
+		ev(4, 1, "emu.rate", "link", "v1>v2", "key", "f/0", "rate", "5", "total", "5", "cap", "10", "delay", "1"),
+		// Timed flip of v1 to a direct host delivery: recv at 12, apply at 30.
+		ev(5, 10, "sched", "switch", "v1"),
+		ev(6, 11, "ctl.flowmod", "switch", "v1", "at", "30", "key", "f/0", "next", "host"),
+		ev(7, 12, "sw.flowmod", "switch", "v1", "kind", "timed", "at", "30", "key", "f/0", "cmd", "mod", "next", "host"),
+		ev(8, 13, "sw.barrier", "switch", "v1"),
+		ev(9, 30, "sw.apply", "switch", "v1", "skew", "0", "at", "30", "key", "f/0", "cmd", "mod", "next", "host"),
+	)
+	r := a.Report()
+	if !r.OK() {
+		t.Fatalf("expected clean audit, got:\n%s", r)
+	}
+	if len(r.Critical.Switches) != 1 {
+		t.Fatalf("critical = %+v, want one switch", r.Critical)
+	}
+	s := r.Critical.Switches[0]
+	if s.Switch != "v1" || s.Sched != 30 || s.Recv != 12 || s.Apply != 30 || s.Lead != 18 || s.Barrier != 13 {
+		t.Errorf("lane = %+v", s)
+	}
+	if r.Critical.Gating != "v1" {
+		t.Errorf("gating = %q, want v1", r.Critical.Gating)
+	}
+}
+
+func TestBlackholeMergedWithObservedDrops(t *testing.T) {
+	a := New()
+	a.Feed(
+		ev(1, 0, "sw.flowmod", "switch", "v1", "kind", "immediate", "key", "f/0", "cmd", "add", "next", "v2"),
+		ev(2, 1, "emu.inject", "switch", "v1", "key", "f/0", "rate", "5"),
+		ev(3, 1, "emu.rate", "link", "v1>v2", "key", "f/0", "rate", "5", "total", "5", "cap", "10", "delay", "1"),
+		// v2 never gets a rule; the emulator confirms the drop.
+		ev(4, 2, "emu.drop", "switch", "v2", "key", "f/0", "reason", "no_rule"),
+	)
+	r := a.Report()
+	if len(r.Blackholes) != 1 {
+		t.Fatalf("blackholes = %+v, want 1", r.Blackholes)
+	}
+	b := r.Blackholes[0]
+	if b.At != "v2" || !b.Observed {
+		t.Errorf("blackhole = %+v, want observed drop at v2", b)
+	}
+}
+
+func TestMissingEventsFromSeqGaps(t *testing.T) {
+	a := New()
+	a.Feed(
+		ev(3, 0, "sw.barrier", "switch", "v1"),
+		ev(7, 1, "sw.barrier", "switch", "v1"),
+	)
+	if got := a.Report().MissingEvents; got != 5 {
+		t.Errorf("MissingEvents = %d, want 5 (seq 1,2,4,5,6)", got)
+	}
+}
+
+func TestReadJSONL(t *testing.T) {
+	a := New()
+	stream := `{"seq":1,"vt":10,"name":"sw.flowmod","attrs":[{"k":"switch","v":"v1"},{"k":"kind","v":"immediate"},{"k":"key","v":"f/0"},{"k":"cmd","v":"add"},{"k":"next","v":"v2"}]}
+
+{"seq":2,"vt":10,"name":"sw.flowmod","attrs":[{"k":"switch","v":"v2"},{"k":"kind","v":"immediate"},{"k":"key","v":"f/0"},{"k":"cmd","v":"add"},{"k":"next","v":"v1"}]}
+`
+	if err := a.ReadJSONL(strings.NewReader(stream)); err != nil {
+		t.Fatal(err)
+	}
+	r := a.Report()
+	if r.Events != 2 || len(r.Loops) != 1 {
+		t.Errorf("events=%d loops=%+v, want 2 events and the config cycle", r.Events, r.Loops)
+	}
+
+	bad := New()
+	if err := bad.ReadJSONL(strings.NewReader("{not json}\n")); err == nil || !strings.Contains(err.Error(), "line 1") {
+		t.Errorf("err = %v, want line-numbered parse error", err)
+	}
+}
+
+func TestReportRenderDeterministic(t *testing.T) {
+	build := func() string {
+		a := New()
+		a.Feed(
+			ev(2, 10, "sw.flowmod", "switch", "v2", "kind", "immediate", "key", "f/0", "cmd", "add", "next", "v1"),
+			ev(1, 10, "sw.flowmod", "switch", "v1", "kind", "immediate", "key", "f/0", "cmd", "add", "next", "v2"),
+			ev(3, 5, "emu.rate", "link", "v1>v2", "key", "f/0", "rate", "15", "total", "15", "cap", "10", "delay", "1"),
+			ev(4, 9, "emu.rate", "link", "v1>v2", "key", "f/0", "rate", "0", "total", "0", "cap", "10", "delay", "1"),
+		)
+		return a.Report().String()
+	}
+	if a, b := build(), build(); a != b {
+		t.Errorf("render not deterministic:\n%s\nvs\n%s", a, b)
+	}
+}

@@ -1,0 +1,254 @@
+package audit
+
+import "sort"
+
+// finishLoops assembles the loop and blackhole verdicts: the
+// instantaneous configuration cycles found while ingesting, plus a
+// dynamic-flow replay of emissions through the reconstructed
+// time-varying tables that catches Definition-2 violations — packets
+// already in flight when rules flip — which no instantaneous check can
+// see.
+func (st *state) finishLoops(r *Report) {
+	loops := append([]LoopViolation(nil), st.cycles...)
+	transient := make(map[string]*LoopViolation)
+	holes := make(map[[2]string]*BlackholeViolation)
+	var stats ReplayStats
+
+	keys := make([]string, 0, len(st.inject))
+	for k := range st.inject {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	maxDelay := int64(1)
+	for _, d := range st.delays {
+		if d > maxDelay {
+			maxDelay = d
+		}
+	}
+
+	for _, key := range keys {
+		src := st.source[key]
+		if src == "" {
+			continue // never injected at a positive rate
+		}
+		injStart := int64(-1)
+		for _, c := range st.inject[key] {
+			if c.rate > 0 {
+				injStart = c.tick
+				break
+			}
+		}
+		if injStart < 0 {
+			continue
+		}
+
+		// Rule changes after injection started are the interesting
+		// instants; anything at or before injStart is provisioning the
+		// flow rode in on from the outset.
+		changeSet := make(map[int64]bool)
+		for _, perKey := range st.ruleHist {
+			for _, c := range perKey[key] {
+				if c.tick > injStart {
+					changeSet[c.tick] = true
+				}
+			}
+		}
+		changes := make([]int64, 0, len(changeSet))
+		for t := range changeSet {
+			changes = append(changes, t)
+		}
+		sort.Slice(changes, func(i, j int) bool { return changes[i] < changes[j] })
+
+		// Emission window, mirroring dynflow.Validate: wide enough before
+		// the first change that any packet still in flight when it lands
+		// is covered, then extended past the last change until the
+		// longest-lived base-window packet has arrived.
+		start, end := injStart, injStart
+		if len(changes) > 0 {
+			span := int64(len(st.ruleHist)+1) * maxDelay
+			start = changes[0] - span
+			if start < injStart {
+				start = injStart
+			}
+			end = changes[len(changes)-1]
+		}
+		latest := end
+		for t := start; t <= end; t++ {
+			if st.rateAt(key, t) <= 0 {
+				continue
+			}
+			if arrival := st.traceOne(key, src, t, &stats, transient, holes); arrival > latest {
+				latest = arrival
+			}
+		}
+		for t := end + 1; t <= latest; t++ {
+			if st.rateAt(key, t) <= 0 {
+				continue
+			}
+			st.traceOne(key, src, t, &stats, transient, holes)
+		}
+	}
+
+	loopedKeys := make(map[string]bool)
+	for _, l := range loops {
+		loopedKeys[l.Key] = true
+	}
+	for _, l := range transient {
+		loops = append(loops, *l)
+		loopedKeys[l.Key] = true
+	}
+
+	// TTL expiries are the emulator's own loop symptom: a packet only
+	// exhausts its TTL by circulating. If the replay already explains the
+	// key, the expiry is corroboration; otherwise it is evidence of a
+	// loop the reconstruction missed, and is reported on its own.
+	ttlKeys := make([]string, 0, len(st.ttlByKey))
+	for k := range st.ttlByKey {
+		ttlKeys = append(ttlKeys, k)
+	}
+	sort.Strings(ttlKeys)
+	for _, k := range ttlKeys {
+		if !loopedKeys[k] {
+			loops = append(loops, LoopViolation{Kind: "ttl-expired", Key: k, At: "-", Tick: st.ttlByKey[k]})
+			st.note("flow %s: emulator reported TTL expiry but the replay found no loop", k)
+		}
+	}
+	if st.ttlDrops > 0 {
+		st.note("emulator dropped %d packet(s) to TTL expiry", st.ttlDrops)
+	}
+
+	sort.Slice(loops, func(i, j int) bool {
+		a, b := loops[i], loops[j]
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Key != b.Key {
+			return a.Key < b.Key
+		}
+		if a.Tick != b.Tick {
+			return a.Tick < b.Tick
+		}
+		return a.Cycle < b.Cycle
+	})
+	r.Loops = loops
+
+	// Merge the emulator's observed no-rule drops into the replayed
+	// blackholes; drops the replay did not predict still get reported.
+	var bh []BlackholeViolation
+	for at, h := range holes {
+		if t, ok := st.dropNoRule[at]; ok {
+			h.Observed = true
+			if t < h.Tick {
+				h.Tick = t
+			}
+		}
+		bh = append(bh, *h)
+	}
+	observedOnly := make([][2]string, 0, len(st.dropNoRule))
+	for at := range st.dropNoRule {
+		if _, ok := holes[at]; !ok {
+			observedOnly = append(observedOnly, at)
+		}
+	}
+	sort.Slice(observedOnly, func(i, j int) bool {
+		if observedOnly[i][0] != observedOnly[j][0] {
+			return observedOnly[i][0] < observedOnly[j][0]
+		}
+		return observedOnly[i][1] < observedOnly[j][1]
+	})
+	for _, at := range observedOnly {
+		bh = append(bh, BlackholeViolation{At: at[0], Key: at[1], Tick: st.dropNoRule[at], Observed: true})
+		st.note("switch %s: emulator dropped flow %s with no rule but the replay did not predict it", at[0], at[1])
+	}
+	sort.Slice(bh, func(i, j int) bool {
+		if bh[i].At != bh[j].At {
+			return bh[i].At < bh[j].At
+		}
+		return bh[i].Key < bh[j].Key
+	})
+	r.Blackholes = bh
+	r.Replay = stats
+}
+
+// traceOne follows a single emission of key, departing src at tick t,
+// through the reconstructed tables, and returns its arrival (or drop)
+// tick. Loops and blackholes it encounters are aggregated per (key,
+// cycle) and (switch, key) respectively.
+func (st *state) traceOne(key, src string, t int64, stats *ReplayStats, transient map[string]*LoopViolation, holes map[[2]string]*BlackholeViolation) int64 {
+	stats.Emissions++
+	emit := t
+	cur := src
+	visited := map[string]int{src: 0}
+	path := []string{src}
+	for {
+		next := st.ruleAt(cur, key, t)
+		switch next {
+		case "":
+			stats.Blackholed++
+			h, ok := holes[[2]string{cur, key}]
+			if !ok {
+				h = &BlackholeViolation{At: cur, Key: key, Tick: t}
+				holes[[2]string{cur, key}] = h
+			}
+			h.Count++
+			return t
+		case "host":
+			stats.Delivered++
+			return t
+		}
+		d := st.delays[[2]string{cur, next}]
+		if d <= 0 {
+			d = 1
+			st.note("link %s>%s: no observed delay; replay assumes 1 tick", cur, next)
+		}
+		t += d
+		if i, ok := visited[next]; ok {
+			stats.Looped++
+			cyc := canonicalCycle(path[i:])
+			id := key + "|" + cyc
+			l, ok := transient[id]
+			if !ok {
+				l = &LoopViolation{Kind: "transient-loop", Key: key, At: next, Tick: t, Cycle: cyc, FirstEmit: emit, LastEmit: emit}
+				transient[id] = l
+			}
+			l.Count++
+			if emit < l.FirstEmit {
+				l.FirstEmit = emit
+			}
+			if emit > l.LastEmit {
+				l.LastEmit = emit
+			}
+			if t < l.Tick {
+				l.Tick = t
+			}
+			return t
+		}
+		visited[next] = len(path)
+		path = append(path, next)
+		cur = next
+	}
+}
+
+// rateAt returns key's injection rate in effect at tick t.
+func (st *state) rateAt(key string, t int64) int64 {
+	cs := st.inject[key]
+	for i := len(cs) - 1; i >= 0; i-- {
+		if cs[i].tick <= t {
+			return cs[i].rate
+		}
+	}
+	return 0
+}
+
+// ruleAt returns the next hop sw's table held for key at tick t, or ""
+// if no rule was installed then.
+func (st *state) ruleAt(sw, key string, t int64) string {
+	cs := st.ruleHist[sw][key]
+	for i := len(cs) - 1; i >= 0; i-- {
+		if cs[i].tick <= t {
+			return cs[i].next
+		}
+	}
+	return ""
+}

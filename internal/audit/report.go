@@ -1,0 +1,202 @@
+package audit
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// CongestionViolation is one reconstructed overload interval on a link:
+// aggregate utilization exceeded capacity from Start until End (virtual
+// ticks; End == -1 means the interval was still open when the trace
+// ended). Keys lists every flow that contributed while it ran.
+type CongestionViolation struct {
+	Link  string   `json:"link"`
+	Start int64    `json:"start"`
+	End   int64    `json:"end"`
+	Peak  int64    `json:"peak"`
+	Cap   int64    `json:"cap"`
+	Keys  []string `json:"keys,omitempty"`
+}
+
+// LoopViolation is one forwarding loop. Kind is "config-cycle" (the
+// installed tables themselves cycled at Tick), "transient-loop" (an
+// in-flight packet revisited a switch during the replay), or
+// "ttl-expired" (the emulator saw a TTL expiry the replay could not
+// attribute to a reconstructed cycle). For replayed loops Count is how
+// many emissions looped and [FirstEmit, LastEmit] the emission ticks.
+type LoopViolation struct {
+	Kind      string `json:"kind"`
+	Key       string `json:"key"`
+	At        string `json:"at"`
+	Tick      int64  `json:"tick"`
+	Cycle     string `json:"cycle,omitempty"`
+	Count     int    `json:"count,omitempty"`
+	FirstEmit int64  `json:"first_emit,omitempty"`
+	LastEmit  int64  `json:"last_emit,omitempty"`
+}
+
+// BlackholeViolation is a flow arriving at a switch holding no rule for
+// it. Observed marks blackholes the emulator's own drop events confirm.
+type BlackholeViolation struct {
+	At       string `json:"at"`
+	Key      string `json:"key"`
+	Tick     int64  `json:"tick"`
+	Count    int    `json:"count,omitempty"`
+	Observed bool   `json:"observed"`
+}
+
+// ReplayStats summarizes the emission replay.
+type ReplayStats struct {
+	Emissions  int `json:"emissions"`
+	Delivered  int `json:"delivered"`
+	Looped     int `json:"looped"`
+	Blackholed int `json:"blackholed"`
+}
+
+// SwitchLane is one switch's control-plane timeline, all in virtual
+// ticks; -1 means the instant was not observed. Lead is sched - recv
+// (how far ahead of its activation the FlowMod arrived) and Skew the
+// activation error the switch itself reported.
+type SwitchLane struct {
+	Switch  string `json:"switch"`
+	Planned int64  `json:"planned"`
+	Sent    int64  `json:"sent"`
+	Sched   int64  `json:"sched"`
+	Recv    int64  `json:"recv"`
+	Barrier int64  `json:"barrier"`
+	Apply   int64  `json:"apply"`
+	Skew    int64  `json:"skew"`
+	Lead    int64  `json:"lead"`
+}
+
+// CriticalPath is the schedule critical-path summary: Gating is the
+// switch whose activation completed last, Makespan the span from the
+// earliest scheduled tick to the last activation (-1 if unobserved).
+type CriticalPath struct {
+	Switches []SwitchLane `json:"switches,omitempty"`
+	Gating   string       `json:"gating,omitempty"`
+	Makespan int64        `json:"makespan"`
+}
+
+// Report is the auditor's verdict over one trace.
+type Report struct {
+	Events        int    `json:"events"`
+	MissingEvents uint64 `json:"missing_events"`
+
+	Congestion []CongestionViolation `json:"congestion,omitempty"`
+	Loops      []LoopViolation       `json:"loops,omitempty"`
+	Blackholes []BlackholeViolation  `json:"blackholes,omitempty"`
+
+	// EmuOverloads counts the emulator's own overload spans, and
+	// DetectorsAgree whether they match the reconstruction exactly.
+	EmuOverloads   int  `json:"emu_overloads"`
+	DetectorsAgree bool `json:"detectors_agree"`
+
+	Replay   ReplayStats  `json:"replay"`
+	Critical CriticalPath `json:"critical"`
+	Notes    []string     `json:"notes,omitempty"`
+}
+
+// Violations counts every invariant violation in the report.
+func (r *Report) Violations() int {
+	return len(r.Congestion) + len(r.Loops) + len(r.Blackholes)
+}
+
+// OK reports whether the trace audited clean.
+func (r *Report) OK() bool { return r.Violations() == 0 }
+
+func lane(v int64) string {
+	if v < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+// Render writes the human-readable report. Output is a pure function of
+// the report contents (and therefore of the fed events).
+func (r *Report) Render(w io.Writer) {
+	verdict := "PASS"
+	if !r.OK() {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(w, "audit: %s — %d violation(s) over %d event(s)\n", verdict, r.Violations(), r.Events)
+	if r.MissingEvents > 0 {
+		fmt.Fprintf(w, "trace: %d event(s) missing from the stream (ring overflow?)\n", r.MissingEvents)
+	}
+
+	if len(r.Congestion) > 0 {
+		fmt.Fprintf(w, "congestion: %d interval(s)\n", len(r.Congestion))
+		for _, c := range r.Congestion {
+			end := lane(c.End)
+			if c.End < 0 {
+				end = "open"
+			}
+			fmt.Fprintf(w, "  link %s: ticks [%d, %s) peak %d over cap %d", c.Link, c.Start, end, c.Peak, c.Cap)
+			if len(c.Keys) > 0 {
+				fmt.Fprintf(w, " flows %s", strings.Join(c.Keys, ","))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	if len(r.Loops) > 0 {
+		fmt.Fprintf(w, "loops: %d\n", len(r.Loops))
+		for _, l := range r.Loops {
+			switch l.Kind {
+			case "config-cycle":
+				fmt.Fprintf(w, "  config-cycle flow %s at tick %d: %s\n", l.Key, l.Tick, l.Cycle)
+			case "transient-loop":
+				fmt.Fprintf(w, "  transient-loop flow %s via %s: first closed at tick %d, %d emission(s) over ticks [%d, %d]\n",
+					l.Key, l.Cycle, l.Tick, l.Count, l.FirstEmit, l.LastEmit)
+			default:
+				fmt.Fprintf(w, "  %s flow %s at tick %d\n", l.Kind, l.Key, l.Tick)
+			}
+		}
+	}
+	if len(r.Blackholes) > 0 {
+		fmt.Fprintf(w, "blackholes: %d\n", len(r.Blackholes))
+		for _, b := range r.Blackholes {
+			mark := ""
+			if b.Observed {
+				mark = " (observed by emulator)"
+			}
+			fmt.Fprintf(w, "  flow %s dropped at %s from tick %d, %d emission(s)%s\n", b.Key, b.At, b.Tick, b.Count, mark)
+		}
+	}
+
+	agree := "matches"
+	if !r.DetectorsAgree {
+		agree = "DISAGREES with"
+	}
+	fmt.Fprintf(w, "cross-check: reconstructed congestion %s the emulator (%d span(s))\n", agree, r.EmuOverloads)
+	fmt.Fprintf(w, "replay: %d emission(s) — %d delivered, %d looped, %d blackholed\n",
+		r.Replay.Emissions, r.Replay.Delivered, r.Replay.Looped, r.Replay.Blackholed)
+
+	if len(r.Critical.Switches) > 0 {
+		fmt.Fprintln(w, "critical path:")
+		fmt.Fprintf(w, "  %-8s %8s %8s %8s %8s %8s %8s %6s %6s\n",
+			"switch", "planned", "sent", "sched", "recv", "barrier", "apply", "skew", "lead")
+		for _, s := range r.Critical.Switches {
+			gate := " "
+			if s.Switch == r.Critical.Gating {
+				gate = "*"
+			}
+			fmt.Fprintf(w, "%s %-8s %8s %8s %8s %8s %8s %8s %6d %6s\n",
+				gate, s.Switch, lane(s.Planned), lane(s.Sent), lane(s.Sched),
+				lane(s.Recv), lane(s.Barrier), lane(s.Apply), s.Skew, lane(s.Lead))
+		}
+		if r.Critical.Gating != "" {
+			fmt.Fprintf(w, "  gating: %s (makespan %d tick(s))\n", r.Critical.Gating, r.Critical.Makespan)
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}
+
+// String renders the report to a string.
+func (r *Report) String() string {
+	var b strings.Builder
+	r.Render(&b)
+	return b.String()
+}

@@ -1,0 +1,444 @@
+package audit
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/chronus-sdn/chronus/internal/obs"
+)
+
+// ruleChange is one reconstructed forwarding-table change: from tick on
+// (inclusive), the switch forwards key to next ("" = no rule, "host" =
+// deliver locally).
+type ruleChange struct {
+	tick int64
+	next string
+}
+
+// rateChange is one injection-rate change at the source.
+type rateChange struct {
+	tick int64
+	rate int64
+}
+
+// flip is one pending state change of the current same-tick batch.
+type flip struct {
+	sw, key, next string
+}
+
+// linkState reconstructs one link's utilization from emu.rate events.
+type linkState struct {
+	cap    int64
+	rates  map[string]int64 // key -> aggregate rate
+	open   *CongestionViolation
+	keys   map[string]bool // keys seen while the open interval ran
+	closed []CongestionViolation
+}
+
+// state is the full reconstruction the auditor builds from one pass over
+// the time-ordered events.
+type state struct {
+	// Forwarding reconstruction.
+	tables   map[string]map[string]string       // switch -> key -> next
+	ruleHist map[string]map[string][]ruleChange // switch -> key -> changes, tick-ascending
+	batchVT  int64
+	batch    []flip
+	cycles   []LoopViolation
+
+	// Utilization reconstruction.
+	links  map[string]*linkState
+	delays map[[2]string]int64
+
+	// Injection replay inputs.
+	inject map[string][]rateChange // key -> changes, tick-ascending
+	source map[string]string       // key -> source switch
+
+	// Emulator ground truth, for cross-checks.
+	emuOverloads []CongestionViolation
+	dropNoRule   map[[2]string]int64 // (switch, key) -> first drop tick
+	ttlByKey     map[string]int64    // key -> first ttl-expiry tick
+	ttlDrops     int
+
+	// Control-plane timeline.
+	lanes map[string]*SwitchLane
+
+	notes map[string]bool
+}
+
+func newState() *state {
+	return &state{
+		tables:     make(map[string]map[string]string),
+		ruleHist:   make(map[string]map[string][]ruleChange),
+		batchVT:    -1 << 62,
+		links:      make(map[string]*linkState),
+		delays:     make(map[[2]string]int64),
+		inject:     make(map[string][]rateChange),
+		source:     make(map[string]string),
+		dropNoRule: make(map[[2]string]int64),
+		ttlByKey:   make(map[string]int64),
+		lanes:      make(map[string]*SwitchLane),
+		notes:      make(map[string]bool),
+	}
+}
+
+func (st *state) note(format string, args ...any) {
+	st.notes[fmt.Sprintf(format, args...)] = true
+}
+
+func (st *state) sortedNotes() []string {
+	out := make([]string, 0, len(st.notes))
+	for n := range st.notes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (st *state) lane(sw string) *SwitchLane {
+	l, ok := st.lanes[sw]
+	if !ok {
+		l = &SwitchLane{Switch: sw, Planned: -1, Sent: -1, Sched: -1, Recv: -1, Barrier: -1, Apply: -1, Lead: -1}
+		st.lanes[sw] = l
+	}
+	return l
+}
+
+// ingest dispatches one time-ordered event into the reconstruction.
+func (st *state) ingest(e obs.Event) {
+	switch e.Name {
+	case "sw.flowmod":
+		sw := attr(e, "switch")
+		if attr(e, "kind") == "timed" {
+			l := st.lane(sw)
+			l.Recv = e.VT
+			if at, ok := attrInt(e, "at"); ok && l.Sched < 0 {
+				l.Sched = at
+			}
+			return // receipt only; the table changes at sw.apply
+		}
+		st.applyRule(e.VT, sw, attr(e, "key"), attr(e, "cmd"), attr(e, "next"))
+	case "sw.apply":
+		sw := attr(e, "switch")
+		l := st.lane(sw)
+		l.Apply = e.VT
+		if skew, ok := attrInt(e, "skew"); ok {
+			l.Skew = skew
+		}
+		if at, ok := attrInt(e, "at"); ok && l.Sched < 0 {
+			l.Sched = at
+		}
+		st.applyRule(e.VT, sw, attr(e, "key"), attr(e, "cmd"), attr(e, "next"))
+	case "sw.barrier":
+		if l := st.lane(attr(e, "switch")); l.Apply < 0 {
+			l.Barrier = e.VT
+		}
+	case "ctl.flowmod":
+		if at, ok := attrInt(e, "at"); ok && at > 0 {
+			l := st.lane(attr(e, "switch"))
+			l.Sent = e.VT
+			l.Sched = at
+		}
+	case "sched":
+		st.lane(attr(e, "switch")).Planned = e.VT
+	case "emu.inject":
+		key := attr(e, "key")
+		rate, _ := attrInt(e, "rate")
+		st.inject[key] = append(st.inject[key], rateChange{tick: e.VT, rate: rate})
+		if rate > 0 {
+			st.source[key] = attr(e, "switch")
+		}
+	case "emu.rate":
+		st.linkRate(e)
+	case "emu.overload":
+		st.emuOverloads = append(st.emuOverloads, CongestionViolation{
+			Link:  attr(e, "link"),
+			Start: e.VT,
+			End:   e.VT + e.Dur,
+			Peak:  mustInt(e, "peak"),
+			Cap:   mustInt(e, "cap"),
+		})
+	case "emu.drop":
+		sw, key := attr(e, "switch"), attr(e, "key")
+		if attr(e, "reason") == "ttl_expired" {
+			st.ttlDrops++
+			if _, seen := st.ttlByKey[key]; !seen {
+				st.ttlByKey[key] = e.VT
+			}
+			return
+		}
+		if _, seen := st.dropNoRule[[2]string{sw, key}]; !seen {
+			st.dropNoRule[[2]string{sw, key}] = e.VT
+		}
+	}
+}
+
+func mustInt(e obs.Event, k string) int64 {
+	v, _ := attrInt(e, k)
+	return v
+}
+
+// applyRule records a forwarding-table change and queues it for the
+// same-tick configuration-cycle check.
+func (st *state) applyRule(vt int64, sw, key, cmd, next string) {
+	if sw == "" || key == "" {
+		return
+	}
+	if vt != st.batchVT {
+		st.flushBatch()
+		st.batchVT = vt
+	}
+	if cmd == "del" {
+		next = ""
+	}
+	tbl, ok := st.tables[sw]
+	if !ok {
+		tbl = make(map[string]string)
+		st.tables[sw] = tbl
+	}
+	if next == "" {
+		delete(tbl, key)
+	} else {
+		tbl[key] = next
+	}
+	hist, ok := st.ruleHist[sw]
+	if !ok {
+		hist = make(map[string][]ruleChange)
+		st.ruleHist[sw] = hist
+	}
+	hist[key] = append(hist[key], ruleChange{tick: vt, next: next})
+	st.batch = append(st.batch, flip{sw: sw, key: key, next: next})
+}
+
+// flushBatch runs the Algorithm-4-style instantaneous loop check over the
+// batch of rule changes that took effect at the same tick: for each
+// flipped switch v, walk forward from its new next hop through the
+// current tables; reaching v again means the configuration itself has a
+// cycle. (Chronus's scheduler runs the same check backward over the
+// active path before accepting a candidate; here it audits what the
+// switches actually installed.)
+func (st *state) flushBatch() {
+	if len(st.batch) == 0 {
+		return
+	}
+	seen := make(map[string]bool)
+	for _, f := range st.batch {
+		if f.next == "" || f.next == "host" {
+			continue
+		}
+		path := []string{f.sw}
+		visited := map[string]bool{f.sw: true}
+		cur := f.next
+		for step := 0; step <= len(st.tables)+1; step++ {
+			if cur == "" || cur == "host" {
+				break
+			}
+			if cur == f.sw {
+				cyc := canonicalCycle(path)
+				if !seen[cyc] {
+					seen[cyc] = true
+					st.cycles = append(st.cycles, LoopViolation{
+						Kind:  "config-cycle",
+						Key:   f.key,
+						At:    f.sw,
+						Tick:  st.batchVT,
+						Cycle: cyc,
+					})
+				}
+				break
+			}
+			if visited[cur] {
+				break // a cycle not through f.sw; its own flip flags it
+			}
+			visited[cur] = true
+			path = append(path, cur)
+			cur = st.tables[cur][f.key]
+		}
+	}
+	st.batch = st.batch[:0]
+}
+
+// canonicalCycle renders a cycle rotated to start at its smallest
+// member, so the same cycle detected from different switches dedupes.
+func canonicalCycle(path []string) string {
+	min := 0
+	for i := range path {
+		if path[i] < path[min] {
+			min = i
+		}
+	}
+	rot := append(append([]string(nil), path[min:]...), path[:min]...)
+	rot = append(rot, rot[0])
+	return joinCycle(rot)
+}
+
+func joinCycle(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += ">"
+		}
+		out += p
+	}
+	return out
+}
+
+// linkRate processes one emu.rate event: update the per-key rate table,
+// independently recompute the link total, and track overload intervals
+// with the same open/close/blip semantics the emulator uses.
+func (st *state) linkRate(e obs.Event) {
+	label := attr(e, "link")
+	ls, ok := st.links[label]
+	if !ok {
+		ls = &linkState{cap: mustInt(e, "cap"), rates: make(map[string]int64)}
+		st.links[label] = ls
+	}
+	if from, to, ok := splitLink(label); ok {
+		if d, ok := attrInt(e, "delay"); ok && d > 0 {
+			st.delays[[2]string{from, to}] = d
+		}
+	}
+	key := attr(e, "key")
+	rate := mustInt(e, "rate")
+	if rate == 0 {
+		delete(ls.rates, key)
+	} else {
+		ls.rates[key] = rate
+	}
+	var total int64
+	for _, r := range ls.rates {
+		total += r
+	}
+	if reported, ok := attrInt(e, "total"); ok && reported != total {
+		st.note("link %s: reconstructed total %d disagrees with emulator total %d at tick %d", label, total, reported, e.VT)
+	}
+
+	over := total > ls.cap
+	switch {
+	case over && ls.open == nil:
+		ls.open = &CongestionViolation{Link: label, Start: e.VT, End: -1, Peak: total, Cap: ls.cap}
+		ls.keys = make(map[string]bool)
+		for k := range ls.rates {
+			ls.keys[k] = true
+		}
+	case over:
+		if total > ls.open.Peak {
+			ls.open.Peak = total
+		}
+		for k := range ls.rates {
+			ls.keys[k] = true
+		}
+	case ls.open != nil:
+		if ls.open.Start != e.VT {
+			// A zero-length blip (two changes at the same instant) is
+			// discarded, mirroring the emulator's interval recorder.
+			ls.open.End = e.VT
+			ls.open.Keys = sortedKeys(ls.keys)
+			ls.closed = append(ls.closed, *ls.open)
+		}
+		ls.open, ls.keys = nil, nil
+	}
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// finishCongestion collects the reconstructed overload intervals into
+// the report and cross-checks them against the emulator's own spans.
+func (st *state) finishCongestion(r *Report) {
+	labels := make([]string, 0, len(st.links))
+	for l := range st.links {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	var reconstructed []CongestionViolation
+	for _, label := range labels {
+		ls := st.links[label]
+		reconstructed = append(reconstructed, ls.closed...)
+		if ls.open != nil {
+			still := *ls.open
+			still.Keys = sortedKeys(ls.keys)
+			reconstructed = append(reconstructed, still)
+			st.note("link %s: overload still open when the trace ended", label)
+		}
+	}
+	sortCongestion(reconstructed)
+	r.Congestion = reconstructed
+
+	// The two congestion detectors police each other: every closed
+	// reconstructed interval must match an emulator overload span and
+	// vice versa. Open intervals are excluded — the emulator, too, only
+	// reports an interval once it closes.
+	var closed []CongestionViolation
+	for _, c := range reconstructed {
+		if c.End >= 0 {
+			closed = append(closed, c)
+		}
+	}
+	emu := append([]CongestionViolation(nil), st.emuOverloads...)
+	sortCongestion(emu)
+	r.EmuOverloads = len(emu)
+	r.DetectorsAgree = len(closed) == len(emu)
+	if r.DetectorsAgree {
+		for i := range closed {
+			a, b := closed[i], emu[i]
+			if a.Link != b.Link || a.Start != b.Start || a.End != b.End || a.Peak != b.Peak || a.Cap != b.Cap {
+				r.DetectorsAgree = false
+				break
+			}
+		}
+	}
+	if !r.DetectorsAgree {
+		st.note("congestion detectors disagree: %d reconstructed closed intervals vs %d emulator spans", len(closed), len(emu))
+	}
+}
+
+func sortCongestion(cs []CongestionViolation) {
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].Link != cs[j].Link {
+			return cs[i].Link < cs[j].Link
+		}
+		if cs[i].Start != cs[j].Start {
+			return cs[i].Start < cs[j].Start
+		}
+		return cs[i].End < cs[j].End
+	})
+}
+
+// finishCritical assembles the per-switch control timeline and the
+// critical-path summary.
+func (st *state) finishCritical(r *Report) {
+	names := make([]string, 0, len(st.lanes))
+	for n := range st.lanes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	cp := CriticalPath{Makespan: -1}
+	minSched, maxApply := int64(-1), int64(-1)
+	for _, n := range names {
+		l := st.lanes[n]
+		if l.Sched < 0 && l.Recv < 0 && l.Apply < 0 {
+			continue // no timed-update activity; not part of the critical path
+		}
+		if l.Sched >= 0 && l.Recv >= 0 {
+			l.Lead = l.Sched - l.Recv
+		}
+		cp.Switches = append(cp.Switches, *l)
+		if l.Sched >= 0 && (minSched < 0 || l.Sched < minSched) {
+			minSched = l.Sched
+		}
+		if l.Apply > maxApply {
+			maxApply = l.Apply
+			cp.Gating = l.Switch
+		}
+	}
+	if minSched >= 0 && maxApply >= 0 {
+		cp.Makespan = maxApply - minSched
+	}
+	r.Critical = cp
+}

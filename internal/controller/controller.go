@@ -394,8 +394,17 @@ func (c *Controller) send(id graph.NodeID, m ofp.Msg) (uint32, error) {
 	case *ofp.FlowMod:
 		c.met.flowMods.Inc()
 		if c.opts.Trace != nil {
+			next := "-"
+			if v.Command != ofp.FlowDelete {
+				if v.Action == ofp.ActionToHost {
+					next = "host"
+				} else {
+					next = c.h.G.Name(graph.NodeID(v.NextHop))
+				}
+			}
 			c.opts.Trace.Point(int64(c.h.Now()), "ctl.flowmod",
-				obs.A("switch", c.h.G.Name(id)), obs.A("at", v.ExecuteAt))
+				obs.A("switch", c.h.G.Name(id)), obs.A("at", v.ExecuteAt),
+				obs.A("key", fmt.Sprintf("%s/%d", v.Flow, v.Tag)), obs.A("next", next))
 		}
 	case *ofp.StatsRequest:
 		c.met.statsPolls.Inc()

@@ -229,3 +229,121 @@ func TestSessionClosedKeepsReplacement(t *testing.T) {
 		t.Fatalf("dead session still registered: %v", err)
 	}
 }
+
+// A dropped control channel must not strand the update: after the
+// disconnect surfaces (counter + callback), re-dialing and re-attaching
+// the same switch yields a session over which timed FlowMods execute the
+// schedule as if the drop never happened.
+func TestReconnectResumesTimedUpdates(t *testing.T) {
+	in := topo.Fig1Example()
+	h := NewHarness(in.G)
+	gone := make(chan graph.NodeID, 4)
+	c := New(h, Options{Seed: 1, OnDisconnect: func(id graph.NodeID, err error) {
+		gone <- id
+	}})
+
+	// One listener per switch, each accepting any number of consecutive
+	// connections so a reconnect reaches the same agent.
+	listeners := make(map[graph.NodeID]net.Listener)
+	for _, id := range in.G.Nodes() {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[id] = ln
+		agent := switchd.New(h.Net, id, nil)
+		go func() {
+			for {
+				conn, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				go func() {
+					oc := ofp.NewConn(conn)
+					defer oc.Close()
+					_ = switchd.Serve(oc, agent, h.Do)
+				}()
+			}
+		}()
+	}
+	t.Cleanup(func() {
+		for _, ln := range listeners {
+			ln.Close()
+		}
+	})
+
+	dial := func(id graph.NodeID) *ofp.Conn {
+		t.Helper()
+		conn, err := ofp.Dial(listeners[id].Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { conn.Close() })
+		return conn
+	}
+	conns := make(map[graph.NodeID]*ofp.Conn)
+	for id := range listeners {
+		conns[id] = dial(id)
+		if _, err := c.AttachTCP(id, conns[id]); err != nil {
+			t.Fatalf("AttachTCP(%d): %v", id, err)
+		}
+	}
+
+	f := FlowSpec{Name: "f0", Tag: 0, Path: in.Init, Rate: 1}
+	if err := c.Provision(f); err != nil {
+		t.Fatal(err)
+	}
+	h.AdvanceTo(100)
+
+	// Kill one switch's control channel mid-flight.
+	victim := in.G.Lookup("v3")
+	conns[victim].Close()
+	select {
+	case got := <-gone:
+		if got != victim {
+			t.Fatalf("OnDisconnect(%d), want %d", got, victim)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("OnDisconnect never fired")
+	}
+	if c.Disconnects() != 1 {
+		t.Fatalf("disconnects = %d, want 1", c.Disconnects())
+	}
+	if err := c.Barrier(victim); !errors.Is(err, ErrNoSession) {
+		t.Fatalf("Barrier on dead session: err = %v, want ErrNoSession", err)
+	}
+
+	// Reconnect: fresh socket, same switch, full handshake again.
+	name, err := c.AttachTCP(victim, dial(victim))
+	if err != nil {
+		t.Fatalf("re-AttachTCP: %v", err)
+	}
+	if name != in.G.Name(victim) {
+		t.Fatalf("reattached switch announced %q, want %q", name, in.G.Name(victim))
+	}
+	if err := c.Barrier(victim); err != nil {
+		t.Fatalf("Barrier after reconnect: %v", err)
+	}
+
+	// The timed schedule must now execute cleanly across all switches,
+	// including the reattached one.
+	s := dynflow.NewSchedule(150)
+	for v, tv := range topo.PaperSchedule(in).Times {
+		s.Set(v, 150+tv)
+	}
+	if err := c.ExecuteTimed(in, s, f); err != nil {
+		t.Fatalf("ExecuteTimed after reconnect: %v", err)
+	}
+	h.AdvanceTo(300)
+
+	noOverloads(t, h)
+	if drops := totalDrops(h); drops != 0 {
+		t.Fatalf("drops = %f after reconnect", drops)
+	}
+	if l := h.Net.Link(in.G.Lookup("v1"), in.G.Lookup("v5")); l.Rate() != 1 {
+		t.Fatalf("final path not active after reconnect: rate = %d", l.Rate())
+	}
+	if c.Disconnects() != 1 {
+		t.Fatalf("reconnect added spurious disconnects: %d", c.Disconnects())
+	}
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/chronus-sdn/chronus/internal/dynflow"
+	"github.com/chronus-sdn/chronus/internal/graph"
+)
+
+// SwitchSlack is the scheduling tolerance of one switch in a validated
+// schedule: how many ticks its activation may slip before the schedule
+// stops being congestion- and loop-free.
+type SwitchSlack struct {
+	// V is the switch.
+	V graph.NodeID
+	// Time is v's scheduled activation tick.
+	Time dynflow.Tick
+	// Slack is the largest delay d such that activating v at Time+d (all
+	// other switches unchanged) still validates clean. It is capped at
+	// the instance's scheduling horizon (autoMaxTicks); a switch whose
+	// delay never broke the schedule within the horizon reports the cap.
+	Slack dynflow.Tick
+	// Critical marks zero-slack switches: any slip at all breaks one of
+	// the invariants, so these gate the correctness of the makespan.
+	Critical bool
+}
+
+// ScheduleSlack computes the per-switch slack of a schedule against the
+// dynamic-flow validator: for each scheduled switch it delays that one
+// activation until Validate reports a violation. It answers the
+// operational question behind critical-path analysis — which switches
+// must fire on time, and how much timing error the rest tolerate — and
+// complements the event-based critical path the audit package derives
+// from an execution trace.
+//
+// Switches are returned in ascending NodeID order. The result is only
+// meaningful for schedules that validate clean; for a violating schedule
+// every switch reports zero slack.
+func ScheduleSlack(in *dynflow.Instance, s *dynflow.Schedule) []SwitchSlack {
+	ids := make([]graph.NodeID, 0, len(s.Times))
+	for v := range s.Times {
+		ids = append(ids, v)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]SwitchSlack, 0, len(ids))
+	if !dynflow.Validate(in, s).OK() {
+		for _, v := range ids {
+			out = append(out, SwitchSlack{V: v, Time: s.Times[v], Critical: true})
+		}
+		return out
+	}
+	horizon := autoMaxTicks(in)
+	for _, v := range ids {
+		slack := horizon
+		trial := s.Clone()
+		for d := dynflow.Tick(1); d <= horizon; d++ {
+			trial.Times[v] = s.Times[v] + d
+			if !dynflow.Validate(in, trial).OK() {
+				slack = d - 1
+				break
+			}
+		}
+		out = append(out, SwitchSlack{V: v, Time: s.Times[v], Slack: slack, Critical: slack == 0})
+	}
+	return out
+}

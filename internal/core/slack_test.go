@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/chronus-sdn/chronus/internal/dynflow"
+	"github.com/chronus-sdn/chronus/internal/topo"
+)
+
+func TestScheduleSlackFig1(t *testing.T) {
+	in := topo.Fig1Example()
+	res, err := Greedy(in, Options{Mode: ModeExact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slacks := ScheduleSlack(in, res.Schedule)
+	if len(slacks) != len(res.Schedule.Times) {
+		t.Fatalf("got %d entries, want %d", len(slacks), len(res.Schedule.Times))
+	}
+	horizon := autoMaxTicks(in)
+	anyCritical, anyLoose := false, false
+	for i, s := range slacks {
+		if i > 0 && slacks[i-1].V >= s.V {
+			t.Fatalf("not sorted by NodeID: %+v", slacks)
+		}
+		if s.Time != res.Schedule.Times[s.V] {
+			t.Errorf("switch %d: Time = %d, want %d", s.V, s.Time, res.Schedule.Times[s.V])
+		}
+		if s.Slack < 0 || s.Slack > horizon {
+			t.Errorf("switch %d: slack %d outside [0, %d]", s.V, s.Slack, horizon)
+		}
+		if s.Critical != (s.Slack == 0) {
+			t.Errorf("switch %d: Critical=%v but Slack=%d", s.V, s.Critical, s.Slack)
+		}
+		anyCritical = anyCritical || s.Critical
+		anyLoose = anyLoose || s.Slack > 0
+
+		// The certificate: delaying by Slack keeps the schedule clean,
+		// delaying one more tick (when below the cap) breaks it.
+		trial := res.Schedule.Clone()
+		trial.Times[s.V] = s.Time + s.Slack
+		if !dynflow.Validate(in, trial).OK() {
+			t.Errorf("switch %d: delay by slack %d should still validate", s.V, s.Slack)
+		}
+		if s.Slack < horizon {
+			trial.Times[s.V] = s.Time + s.Slack + 1
+			if dynflow.Validate(in, trial).OK() {
+				t.Errorf("switch %d: delay by slack+1 = %d should violate", s.V, s.Slack+1)
+			}
+		}
+	}
+	if !anyCritical {
+		t.Error("fig1 should have at least one zero-slack (critical) switch")
+	}
+	if !anyLoose {
+		t.Error("fig1 should have at least one switch with positive slack")
+	}
+}
+
+func TestScheduleSlackViolatingScheduleAllCritical(t *testing.T) {
+	in := topo.Fig1Example()
+	oneShot := dynflow.NewSchedule(0)
+	for _, v := range in.UpdateSet() {
+		oneShot.Set(v, 0)
+	}
+	if dynflow.Validate(in, oneShot).OK() {
+		t.Fatal("fig1 one-shot should violate (precondition)")
+	}
+	for _, s := range ScheduleSlack(in, oneShot) {
+		if !s.Critical || s.Slack != 0 {
+			t.Errorf("switch %d: %+v, want zero-slack critical", s.V, s)
+		}
+	}
+}

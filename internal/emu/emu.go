@@ -115,6 +115,14 @@ func (n *Network) Inject(src graph.NodeID, key FlowKey, rate Rate) {
 	if sw == nil {
 		panic(fmt.Sprintf("emu: inject at unknown switch %d", src))
 	}
+	if n.trace != nil {
+		// The injection record is what lets a trace consumer (the audit
+		// package) replay emissions: which switch sources the key, at what
+		// rate, from which tick.
+		n.trace.Point(int64(n.K.Now()), "emu.inject",
+			obs.A("switch", sw.Name()), obs.A("key", key.String()),
+			obs.A("rate", int64(rate)))
+	}
 	sw.setInput(hostPort, key, DefaultTTL, rate)
 }
 

@@ -2,6 +2,7 @@ package emu
 
 import (
 	"github.com/chronus-sdn/chronus/internal/graph"
+	"github.com/chronus-sdn/chronus/internal/obs"
 	"github.com/chronus-sdn/chronus/internal/sim"
 )
 
@@ -129,6 +130,23 @@ func (l *Link) setContribution(now sim.Time, key FlowKey, ttl int, rate Rate) {
 		byTTL[ttl] = rate
 	}
 	l.setTotal(now, l.total-old+rate)
+	if l.net.trace != nil {
+		// One utilization record per contribution change: the key's
+		// aggregate rate (across TTL bands) plus the link total, capacity
+		// and delay. Trace consumers reconstruct per-link load and the
+		// in-flight hop timing from these (see internal/audit).
+		var keyRate Rate
+		for _, r := range l.contrib[key] {
+			keyRate += r
+		}
+		l.net.trace.Point(int64(now), "emu.rate",
+			obs.A("link", l.net.G.Name(l.spec.From)+">"+l.net.G.Name(l.spec.To)),
+			obs.A("key", key.String()),
+			obs.A("rate", int64(keyRate)),
+			obs.A("total", int64(l.total)),
+			obs.A("cap", int64(l.spec.Cap)),
+			obs.A("delay", int64(l.spec.Delay)))
+	}
 }
 
 func (l *Link) setTotal(now sim.Time, total Rate) {

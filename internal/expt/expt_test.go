@@ -78,6 +78,25 @@ func TestQualityShapes(t *testing.T) {
 	if f7.Table().String() == "" || f8.Table().String() == "" {
 		t.Fatal("empty tables")
 	}
+	// The runtime-audit cross-check: sampled executions exist at every
+	// size, and the trace auditor's verdict always matches the analytic
+	// validator's (clean Chronus schedules audit clean, flagged one-shots
+	// audit flagged).
+	if len(f7.Audit) != len(cfg.Sizes) {
+		t.Fatalf("audit points = %d, want %d", len(f7.Audit), len(cfg.Sizes))
+	}
+	for _, p := range f7.Audit {
+		if p.Checks == 0 {
+			t.Fatalf("size %d: no audited executions", p.N)
+		}
+		if p.Agree != p.Checks {
+			t.Fatalf("size %d: auditor and validator disagree on %d of %d executions",
+				p.N, p.Checks-p.Agree, p.Checks)
+		}
+	}
+	if h := f7.Table().Header; h[len(h)-2] != "audit_checks" || h[len(h)-1] != "audit_agree" {
+		t.Fatalf("fig7 header missing audit columns: %v", h)
+	}
 }
 
 func TestFig9Shapes(t *testing.T) {

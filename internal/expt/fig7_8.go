@@ -29,6 +29,19 @@ type SizePoint struct {
 // EvaluateQuality computes them together.
 type Fig7Result struct {
 	Chronus, OPT, OR []SizePoint
+	// Audit cross-checks the analytic validator against the runtime
+	// auditor, indexed like the scheme slices: per size, how many sampled
+	// executions were audited and how often the two verdicts agreed (a
+	// clean Chronus schedule must audit clean; a one-shot update the
+	// validator flags must be flagged by the auditor too).
+	Audit []AuditPoint
+}
+
+// AuditPoint is one size's validator-versus-auditor tally.
+type AuditPoint struct {
+	N      int
+	Checks int
+	Agree  int
 }
 
 // Fig8Result carries the congested time-extended link counts (Fig. 8
@@ -43,6 +56,7 @@ type qualityTally struct {
 	chrFree, orFree, optFree    int
 	chrTotal, orTotal, optTotal int
 	chrCongSum, orCongSum       float64
+	auditChecks, auditAgree     int
 }
 
 func (t *qualityTally) add(o qualityTally) {
@@ -54,6 +68,8 @@ func (t *qualityTally) add(o qualityTally) {
 	t.optTotal += o.optTotal
 	t.chrCongSum += o.chrCongSum
 	t.orCongSum += o.orCongSum
+	t.auditChecks += o.auditChecks
+	t.auditAgree += o.auditAgree
 }
 
 // qualityRun evaluates one run's InstancesPerRun instances under its own
@@ -81,6 +97,35 @@ func qualityRun(cfg Config, n, run int) (qualityTally, error) {
 			}
 		} else {
 			t.chrFree++ // violation-free by construction (property-tested)
+		}
+
+		// Runtime audit cross-check on the first instance of each run:
+		// execute on the emulated testbed and let the trace auditor
+		// re-derive the verdict independently of the validator. A clean
+		// Chronus schedule must audit clean; the one-shot baseline must be
+		// flagged whenever the validator flags it. The testbed draws no
+		// numbers from rng, so the other columns are unaffected.
+		if k == 0 {
+			execSeed := int64(n)*100_003 + int64(run)
+			if !res.BestEffort {
+				rep, err := auditedExecution(in, res.Schedule, execSeed)
+				if err != nil {
+					return t, err
+				}
+				t.auditChecks++
+				if rep.OK() && rep.DetectorsAgree {
+					t.auditAgree++
+				}
+			}
+			oneShot := oneShotSchedule(in)
+			rep, err := auditedExecution(in, oneShot, execSeed+1)
+			if err != nil {
+				return t, err
+			}
+			t.auditChecks++
+			if dynflow.Validate(in, oneShot).OK() == rep.OK() && rep.DetectorsAgree {
+				t.auditAgree++
+			}
 		}
 
 		// OR: loop-free rounds replayed with intra-round jitter.
@@ -141,17 +186,21 @@ func EvaluateQuality(cfg Config) (*Fig7Result, *Fig8Result, error) {
 		f7.Chronus = append(f7.Chronus, SizePoint{N: n, CongestionFreePct: metrics.Percent(t.chrFree, t.chrTotal), Instances: t.chrTotal})
 		f7.OR = append(f7.OR, SizePoint{N: n, CongestionFreePct: metrics.Percent(t.orFree, t.orTotal), Instances: t.orTotal})
 		f7.OPT = append(f7.OPT, SizePoint{N: n, CongestionFreePct: metrics.Percent(t.optFree, t.optTotal), Instances: t.optTotal})
+		f7.Audit = append(f7.Audit, AuditPoint{N: n, Checks: t.auditChecks, Agree: t.auditAgree})
 		f8.Chronus = append(f8.Chronus, SizePoint{N: n, MeanCongestedLinks: t.chrCongSum / float64(t.chrTotal), Instances: t.chrTotal})
 		f8.OR = append(f8.OR, SizePoint{N: n, MeanCongestedLinks: t.orCongSum / float64(t.orTotal), Instances: t.orTotal})
 	}
 	return f7, f8, nil
 }
 
-// Table renders Fig. 7: % congestion-free instances per scheme and size.
+// Table renders Fig. 7: % congestion-free instances per scheme and size,
+// plus the runtime-audit cross-check columns (audited executions and how
+// many agreed with the analytic validator's verdict).
 func (r *Fig7Result) Table() *metrics.Table {
-	t := &metrics.Table{Header: []string{"switches", "chronus_pct", "opt_pct", "or_pct"}}
+	t := &metrics.Table{Header: []string{"switches", "chronus_pct", "opt_pct", "or_pct", "audit_checks", "audit_agree"}}
 	for i := range r.Chronus {
-		t.AddRowf(r.Chronus[i].N, r.Chronus[i].CongestionFreePct, r.OPT[i].CongestionFreePct, r.OR[i].CongestionFreePct)
+		t.AddRowf(r.Chronus[i].N, r.Chronus[i].CongestionFreePct, r.OPT[i].CongestionFreePct, r.OR[i].CongestionFreePct,
+			r.Audit[i].Checks, r.Audit[i].Agree)
 	}
 	return t
 }

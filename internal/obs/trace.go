@@ -52,6 +52,11 @@ type TracerOptions struct {
 	// oldest events are dropped first. Sequence numbers stay monotonic
 	// across drops so readers can detect gaps.
 	Cap int
+	// Drops, when set, is incremented once per event evicted from the
+	// ring, so ring overflow shows up in a metrics exposition (e.g. the
+	// chronus_trace_dropped_events_total family) instead of having to be
+	// inferred from sequence gaps.
+	Drops *Counter
 }
 
 // Tracer collects structured events in a bounded in-memory ring.
@@ -64,6 +69,7 @@ type Tracer struct {
 	seq     uint64
 	dropped uint64
 	wall    func() int64
+	drops   *Counter
 }
 
 const defaultTracerCap = 65536
@@ -74,7 +80,7 @@ func NewTracer(o TracerOptions) *Tracer {
 	if cap <= 0 {
 		cap = defaultTracerCap
 	}
-	return &Tracer{events: make([]Event, cap), wall: o.Wall}
+	return &Tracer{events: make([]Event, cap), wall: o.Wall, drops: o.Drops}
 }
 
 // Point records an instantaneous event at virtual time vt.
@@ -105,6 +111,7 @@ func (t *Tracer) add(e Event) {
 		t.events[t.head] = e
 		t.head = (t.head + 1) % len(t.events)
 		t.dropped++
+		t.drops.Inc()
 	} else {
 		t.events[(t.head+t.count)%len(t.events)] = e
 		t.count++
@@ -137,6 +144,35 @@ func (t *Tracer) Events(since uint64) []Event {
 		}
 	}
 	return out
+}
+
+// Page returns up to limit retained events with Seq > since, oldest
+// first, plus the cursor to pass as since on the next call (the Seq of
+// the last returned event, or since itself when nothing qualified). A
+// limit <= 0 means no bound. It is the building block of paged trace
+// endpoints such as chronusd's /trace?limit=.
+func (t *Tracer) Page(since uint64, limit int) ([]Event, uint64) {
+	if t == nil {
+		return nil, since
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, t.count)
+	for i := 0; i < t.count; i++ {
+		e := t.events[(t.head+i)%len(t.events)]
+		if e.Seq <= since {
+			continue
+		}
+		out = append(out, e)
+		if limit > 0 && len(out) == limit {
+			break
+		}
+	}
+	next := since
+	if len(out) > 0 {
+		next = out[len(out)-1].Seq
+	}
+	return out, next
 }
 
 // WriteJSONL writes the retained events with Seq > since as one JSON

@@ -129,6 +129,25 @@ func (a *Agent) flowMod(m *ofp.FlowMod) error {
 	}
 	key := emu.FlowKey{Flow: m.Flow, Tag: emu.Tag(m.Tag)}
 
+	// Rule-content attributes carried by sw.flowmod and sw.apply events:
+	// enough for a trace consumer to rebuild the forwarding table without
+	// access to the live switch (the audit package's state reconstruction).
+	cmd := "mod"
+	next := "-"
+	switch m.Command {
+	case ofp.FlowAdd:
+		cmd = "add"
+	case ofp.FlowDelete:
+		cmd = "del"
+	}
+	if m.Command != ofp.FlowDelete {
+		if action.ToHost {
+			next = "host"
+		} else {
+			next = a.net.G.Name(action.NextHop)
+		}
+	}
+
 	apply := func() {
 		a.applied++
 		switch m.Command {
@@ -142,7 +161,8 @@ func (a *Agent) flowMod(m *ofp.FlowMod) error {
 		a.met.immediate.Inc()
 		if a.trace != nil {
 			a.trace.Point(int64(a.net.K.Now()), "sw.flowmod",
-				obs.A("switch", a.sw.Name()), obs.A("kind", "immediate"))
+				obs.A("switch", a.sw.Name()), obs.A("kind", "immediate"),
+				obs.A("key", key.String()), obs.A("cmd", cmd), obs.A("next", next))
 		}
 		a.scheduled++
 		apply()
@@ -162,7 +182,8 @@ func (a *Agent) flowMod(m *ofp.FlowMod) error {
 	a.met.timed.Inc()
 	if a.trace != nil {
 		a.trace.Point(int64(now), "sw.flowmod",
-			obs.A("switch", a.sw.Name()), obs.A("kind", "timed"), obs.A("at", int64(requested)))
+			obs.A("switch", a.sw.Name()), obs.A("kind", "timed"), obs.A("at", int64(requested)),
+			obs.A("key", key.String()), obs.A("cmd", cmd), obs.A("next", next))
 	}
 	a.scheduled++
 	a.net.K.At(at, func() {
@@ -176,7 +197,9 @@ func (a *Agent) flowMod(m *ofp.FlowMod) error {
 		a.met.fireSkew.Observe(float64(abs))
 		if a.trace != nil {
 			a.trace.Point(int64(a.net.K.Now()), "sw.apply",
-				obs.A("switch", a.sw.Name()), obs.A("skew", skew))
+				obs.A("switch", a.sw.Name()), obs.A("skew", skew),
+				obs.A("at", int64(requested)),
+				obs.A("key", key.String()), obs.A("cmd", cmd), obs.A("next", next))
 		}
 		apply()
 	})
