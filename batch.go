@@ -26,7 +26,12 @@ type (
 type BatchOptions struct {
 	// Start is the first tick of the batch.
 	Start Tick
-	// Mode selects the per-flow engine (zero value: ModeExact).
+	// Scheme names the per-flow scheduler in the registry (see Schemes());
+	// it must produce timed schedules. Empty derives "chronus" or
+	// "chronus-fast" from Mode.
+	Scheme string
+	// Mode selects the greedy acceptance mode when Scheme is empty (zero
+	// value: ModeExact).
 	Mode Mode
 	// Gap inserts idle ticks between consecutive flows' migrations.
 	Gap Tick
@@ -41,7 +46,7 @@ type BatchOptions struct {
 // residual topology, or a mixed configuration saturates a needed link (in
 // which case reordering the flows may help).
 func SolveBatch(g *Network, flows []BatchFlow, o BatchOptions) (*BatchPlan, error) {
-	return batch.Solve(g, flows, batch.Options{Start: o.Start, Mode: core.Mode(o.Mode), Gap: o.Gap})
+	return batch.Solve(g, flows, batch.Options{Start: o.Start, Scheme: o.Scheme, Mode: core.Mode(o.Mode), Gap: o.Gap})
 }
 
 // ValidateJoint checks several flows' updates together: per-flow loop- and

@@ -11,6 +11,7 @@
 package chronus_test
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -222,6 +223,26 @@ func BenchmarkParallelAblationClockSkew(b *testing.B) {
 		_, err := expt.AblationClockSkew(cfg)
 		return err
 	})
+}
+
+// BenchmarkSchemesFig1 runs every registered scheme on the Fig. 1 example
+// through the registry facade — one sub-benchmark per name, driven by
+// chronus.Schemes() so a newly registered scheme is benchmarked without
+// touching this file. Infeasible and unsupported outcomes are legitimate
+// results for some (scheme, instance) pairs, not benchmark failures.
+func BenchmarkSchemesFig1(b *testing.B) {
+	for _, name := range chronus.Schemes() {
+		b.Run(name, func(b *testing.B) {
+			in := chronus.Fig1Example()
+			opts := chronus.SchemeOptions{MaxNodes: 200_000}
+			for i := 0; i < b.N; i++ {
+				_, err := chronus.SolveWith(name, in, opts)
+				if err != nil && !errors.Is(err, chronus.ErrInfeasible) && !errors.Is(err, chronus.ErrSchemeUnsupported) {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // Micro-benchmarks for the core engines.

@@ -16,8 +16,13 @@
 //	GET  /trace?since=42             structured event trace as JSONL
 //	GET  /trace?since=42&limit=100   one page of events as JSON, with a next cursor
 //	GET  /audit                      consistency-audit report over the recorded trace
+//	GET  /schemes                    registered scheduler names and accepted update methods
 //	POST /advance  {"ticks": 100}    advance virtual time
-//	POST /update   {"method": "chronus"}   chronus | chronus-fast | tp | or
+//	POST /update   {"method": "chronus"}   any registered scheme, or "tp"
+//
+// Update methods come from the scheme registry (internal/scheme): the
+// daemon plans with the named scheme and executes whatever shape it
+// returns — timed schedules time-triggered, round sequences barrier-paced.
 //
 // With -debug-addr a second listener additionally serves net/http/pprof
 // and expvar on the standard /debug/ paths.

@@ -96,7 +96,19 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /trace", s.handleTrace)
 	mux.HandleFunc("GET /audit", s.handleAudit)
+	mux.HandleFunc("GET /schemes", s.handleSchemes)
 	return mux
+}
+
+// handleSchemes lists the registered scheduler names plus the methods
+// POST /update accepts (every scheme, and "tp" — two-phase commit is an
+// execution strategy with no planning step, not a scheme).
+func (s *server) handleSchemes(w http.ResponseWriter, r *http.Request) {
+	schemes := chronus.Schemes()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"schemes":        schemes,
+		"update_methods": append(schemes, "tp"),
+	})
 }
 
 // handleAudit replays the full recorded trace through the consistency
@@ -320,38 +332,43 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// executeUpdate plans the migration with the named registry scheme (the
+// solve is recorded under the scheme-labelled metrics counter) and executes
+// whatever shape it produced: timed schedules run time-triggered, round
+// sequences run barrier-paced, and decision-only results have nothing to
+// execute. "tp" is the one non-scheme method — two-phase commit plans
+// nothing, so it goes straight to the execution engine.
 func (s *server) executeUpdate(method string) error {
-	switch method {
-	case "chronus", "chronus-fast", "":
-		mode := chronus.ModeExact
-		if method == "chronus-fast" {
-			mode = chronus.ModeFast
-		}
-		plan, err := chronus.Solve(s.in, chronus.SolveOptions{Mode: mode, Obs: s.reg, Trace: s.tracer})
-		if err != nil {
-			return err
-		}
+	if method == "" {
+		method = "chronus"
+	}
+	if method == "tp" {
+		return s.ctl.ExecuteTwoPhase(s.in, s.flow, 1)
+	}
+	res, err := chronus.SolveWith(method, s.in, chronus.SchemeOptions{Obs: s.reg, Trace: s.tracer})
+	if errors.Is(err, chronus.ErrUnknownScheme) {
+		return fmt.Errorf("unknown method %q (want tp or a scheme: %s)", method, strings.Join(chronus.Schemes(), ", "))
+	}
+	if err != nil {
+		return err
+	}
+	switch {
+	case res.Schedule != nil:
 		start := chronus.Tick(s.tb.Now()) + 50 // headroom past the control latency
 		sched := chronus.NewSchedule(start)
-		for v, tv := range plan.Schedule.Times {
-			sched.Set(v, start+tv)
+		for v, tv := range res.Schedule.Times {
+			sched.Set(v, start+(tv-res.Schedule.Start))
 		}
 		return s.ctl.ExecuteTimed(s.in, sched, s.flow)
-	case "tp":
-		return s.ctl.ExecuteTwoPhase(s.in, s.flow, 1)
-	case "or":
-		rounds, err := chronus.OrderReplacementRounds(s.in)
-		if err != nil {
-			return err
-		}
+	case len(res.Rounds) > 0 && res.Feasible == nil:
 		sched := chronus.NewSchedule(0)
-		for i, round := range rounds {
+		for i, round := range res.Rounds {
 			for _, v := range round {
 				sched.Set(v, chronus.Tick(i))
 			}
 		}
 		return s.ctl.ExecuteBarrierPaced(s.in, sched, s.flow, 1)
 	default:
-		return fmt.Errorf("unknown method %q (want chronus, chronus-fast, tp, or)", method)
+		return fmt.Errorf("scheme %q decides feasibility but produces no executable schedule", method)
 	}
 }

@@ -9,6 +9,8 @@ import (
 	"regexp"
 	"strings"
 	"testing"
+
+	chronus "github.com/chronus-sdn/chronus"
 )
 
 func newTestServer(t *testing.T) (*server, *httptest.Server) {
@@ -403,5 +405,77 @@ func TestDaemonTraceDroppedCounterExposed(t *testing.T) {
 	resp.Body.Close()
 	if got := resp.Header.Get("X-Chronus-Trace-Dropped"); got != "0" {
 		t.Fatalf("X-Chronus-Trace-Dropped = %q, want 0", got)
+	}
+}
+
+// TestDaemonSchemesEndpoint checks that /schemes reflects the registry and
+// that an /update planned through it lands in the scheme-labelled solve
+// counter on /metrics.
+func TestDaemonSchemesEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	var got struct {
+		Schemes       []string `json:"schemes"`
+		UpdateMethods []string `json:"update_methods"`
+	}
+	getJSON(t, ts.URL+"/schemes", &got)
+	want := chronus.Schemes()
+	if len(got.Schemes) != len(want) {
+		t.Fatalf("/schemes returned %v, want %v", got.Schemes, want)
+	}
+	for i, name := range want {
+		if got.Schemes[i] != name {
+			t.Fatalf("/schemes returned %v, want %v", got.Schemes, want)
+		}
+	}
+	if len(got.UpdateMethods) != len(want)+1 || got.UpdateMethods[len(want)] != "tp" {
+		t.Fatalf("update_methods = %v, want schemes plus tp", got.UpdateMethods)
+	}
+
+	resp, body := postJSON(t, ts.URL+"/update", `{"method": "chronus-fast"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("update: %s: %v", resp.Status, body)
+	}
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	text, _ := io.ReadAll(mresp.Body)
+	wantLine := `chronus_scheme_solve_total{scheme="chronus-fast",outcome="ok"} 1`
+	if !strings.Contains(string(text), wantLine) {
+		t.Fatalf("/metrics missing %q", wantLine)
+	}
+}
+
+// TestDaemonUpdateRejectsNonExecutableScheme: on the emulation topology the
+// tree check is outside its preconditions (non-uniform delays), and even
+// where it runs it decides feasibility without planning anything the
+// controller could push — either way /update must refuse with a 400.
+func TestDaemonUpdateRejectsNonExecutableScheme(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/update", `{"method": "tree"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("tree update: got %s, want 400 (%v)", resp.Status, body)
+	}
+	if msg, _ := body["error"].(string); msg == "" {
+		t.Fatalf("tree update error = %v", body)
+	}
+}
+
+// TestDaemonUpdateUnknownMethodListsSchemes checks the registry-derived
+// error: the daemon names every accepted method rather than a stale
+// hand-kept list.
+func TestDaemonUpdateUnknownMethodListsSchemes(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/update", `{"method": "nope"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown update: got %s, want 400 (%v)", resp.Status, body)
+	}
+	msg, _ := body["error"].(string)
+	for _, name := range chronus.Schemes() {
+		if !strings.Contains(msg, name) {
+			t.Fatalf("error %q does not list scheme %q", msg, name)
+		}
 	}
 }

@@ -27,6 +27,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
@@ -49,8 +50,12 @@ func run(args []string, w io.Writer) error {
 	csvDir := fs.String("csv", "", "directory to also write CSV tables into")
 	procs := fs.Int("procs", runtime.GOMAXPROCS(0), "parallel experiment workers; 1 reproduces the serial path byte for byte")
 	benchJSON := fs.String("bench-json", "", "write a machine-readable run summary (per-experiment wall time, per-table rows, audit tallies) to this file")
+	benchTables := fs.String("bench-tables", "", "print the table shapes of an existing -bench-json snapshot (sorted, wall-clock-free) and exit; CI diffs two snapshots this way")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *benchTables != "" {
+		return printBenchTables(w, *benchTables)
 	}
 	cfg := expt.Default(*seed)
 	if *quick {
@@ -239,4 +244,28 @@ type benchSummary struct {
 type benchTable struct {
 	Columns int `json:"columns"`
 	Rows    int `json:"rows"`
+}
+
+// printBenchTables renders the deterministic part of a -bench-json
+// snapshot — table names and shapes, sorted — so CI can diff a fresh run
+// against the checked-in snapshot without tripping on wall-clock fields.
+func printBenchTables(w io.Writer, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var bench benchSummary
+	if err := json.Unmarshal(data, &bench); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	names := make([]string, 0, len(bench.Tables))
+	for name := range bench.Tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := bench.Tables[name]
+		fmt.Fprintf(w, "%s %d cols %d rows\n", name, t.Columns, t.Rows)
+	}
+	return nil
 }

@@ -85,9 +85,9 @@ func TestRunBenchJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	var bench struct {
-		Seed        int64                 `json:"seed"`
-		Quick       bool                  `json:"quick"`
-		Experiments map[string]float64    `json:"experiments"`
+		Seed        int64                                  `json:"seed"`
+		Quick       bool                                   `json:"quick"`
+		Experiments map[string]float64                     `json:"experiments"`
 		Tables      map[string]struct{ Columns, Rows int } `json:"tables"`
 		Audit       struct{ Checks, Agree int }            `json:"audit"`
 	}

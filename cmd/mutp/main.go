@@ -9,6 +9,10 @@
 //	mutp -instance emulation -scheme opt
 //	mutp -instance random -n 30 -seed 7 -scheme all
 //	mutp -instance path/to/instance.json -scheme chronus -json
+//	mutp -list-schemes
+//
+// Schemes come from the registry (internal/scheme): -scheme accepts any
+// registered name, and -scheme all runs the whole cast.
 //
 // The JSON instance format is:
 //
@@ -52,7 +56,11 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("mutp", flag.ContinueOnError)
 	instance := fs.String("instance", "fig1", "instance: fig1, emulation, random, or a JSON file path")
-	scheme := fs.String("scheme", "chronus", "scheduler: chronus, chronus-fast, opt, or, tree, oneshot, all")
+	// The scheme list in the usage text comes from the registry, so a
+	// newly registered scheme shows up here without touching this file.
+	scheme := fs.String("scheme", "chronus",
+		fmt.Sprintf("scheduler: %s, or all", strings.Join(chronus.Schemes(), ", ")))
+	listSchemes := fs.Bool("list-schemes", false, "print the registered scheme names, one per line, and exit")
 	n := fs.Int("n", 20, "switch count for -instance random")
 	seed := fs.Int64("seed", 1, "seed for -instance random")
 	jsonOut := fs.Bool("json", false, "emit the schedule as JSON")
@@ -66,6 +74,12 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	if *listSchemes {
+		for _, name := range chronus.Schemes() {
+			fmt.Fprintln(out, name)
+		}
+		return nil
+	}
 	if *auditFrom != "" {
 		return auditFromFile(out, *auditFrom, *auditJSON)
 	}
@@ -86,7 +100,7 @@ func run(args []string, out io.Writer) error {
 
 	schemes := []string{*scheme}
 	if *scheme == "all" {
-		schemes = []string{"chronus", "chronus-fast", "opt", "or", "tree"}
+		schemes = chronus.Schemes()
 	}
 	traced, audited := false, false
 	for _, sch := range schemes {
@@ -108,10 +122,10 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	if *traceFile != "" && !traced {
-		return errors.New("-trace needs a feasible timed schedule (scheme chronus, chronus-fast, opt or oneshot)")
+		return errors.New("-trace needs a scheme that produced a feasible timed schedule (see -list-schemes; round- and decision-only schemes emit none)")
 	}
 	if *auditRun && !audited {
-		return errors.New("-audit needs a feasible timed schedule (scheme chronus, chronus-fast, opt or oneshot)")
+		return errors.New("-audit needs a scheme that produced a feasible timed schedule (see -list-schemes; round- and decision-only schemes emit none)")
 	}
 	return nil
 }
@@ -146,85 +160,56 @@ func loadInstance(name string, n int, seed int64) (*chronus.Instance, error) {
 	return &chronus.Instance{G: file.Graph, Demand: file.Demand, Init: init, Fin: fin}, nil
 }
 
-// solveOne runs one scheme and returns its timed schedule when the
-// scheme produces one (nil for round-based and decision-only schemes, or
-// when the instance is infeasible).
+// solveOne runs one registry scheme and returns its timed schedule when
+// the scheme produces one (nil for round-based and decision-only schemes,
+// or when the instance is infeasible). It dispatches on the shape of the
+// uniform result — Feasible verdict, rounds, schedule — never on the
+// scheme's name, so a newly registered scheme works here unchanged.
 func solveOne(out io.Writer, in *chronus.Instance, scheme string, bestEffort, jsonOut bool) (*chronus.Schedule, error) {
 	fmt.Fprintf(out, "\n== %s ==\n", scheme)
-	switch scheme {
-	case "chronus", "chronus-fast":
-		mode := chronus.ModeExact
-		if scheme == "chronus-fast" {
-			mode = chronus.ModeFast
-		}
-		plan, err := chronus.Solve(in, chronus.SolveOptions{Mode: mode, BestEffort: bestEffort})
-		if errors.Is(err, chronus.ErrInfeasible) {
-			fmt.Fprintln(out, "infeasible: no congestion- and loop-free schedule")
+	res, err := chronus.SolveWith(scheme, in, chronus.SchemeOptions{BestEffort: bestEffort})
+	switch {
+	case errors.Is(err, chronus.ErrInfeasible):
+		fmt.Fprintln(out, "infeasible: no congestion- and loop-free schedule")
+		return nil, nil
+	case errors.Is(err, chronus.ErrSchemeUnsupported):
+		fmt.Fprintf(out, "%s check unavailable: %v\n", scheme, err)
+		return nil, nil
+	case err != nil:
+		return nil, err
+	}
+	if res.Feasible != nil {
+		fmt.Fprintf(out, "feasible congestion- and loop-free sequence exists: %v\n", *res.Feasible)
+		return nil, nil
+	}
+	if res.Schedule == nil {
+		if len(res.Rounds) == 0 {
+			fmt.Fprintln(out, "no schedule found within the search budget")
 			return nil, nil
 		}
-		if err != nil {
-			return nil, err
-		}
-		printSchedule(out, in, plan.Schedule, jsonOut)
-		if plan.BestEffort {
-			fmt.Fprintln(out, "best-effort plan (scheduler got stuck; see violations)")
-		}
-		report := plan.Report
-		if report == nil {
-			report = chronus.Validate(in, plan.Schedule)
-		}
-		fmt.Fprintf(out, "validation: %s\n", report.Summary())
-		return plan.Schedule, nil
-	case "opt":
-		plan, err := chronus.SolveOptimal(in, chronus.OptimalOptions{})
-		if errors.Is(err, chronus.ErrInfeasible) {
-			fmt.Fprintln(out, "infeasible: no congestion- and loop-free schedule")
-			return nil, nil
-		}
-		if err != nil {
-			return nil, err
-		}
-		printSchedule(out, in, plan.Schedule, jsonOut)
-		fmt.Fprintf(out, "exact: %v (searched %d nodes)\n", plan.Exact, plan.Nodes)
-		fmt.Fprintf(out, "validation: %s\n", chronus.Validate(in, plan.Schedule).Summary())
-		return plan.Schedule, nil
-	case "or":
-		rounds, err := chronus.OrderReplacementRounds(in)
-		if err != nil {
-			return nil, err
-		}
-		for i, round := range rounds {
+		for i, round := range res.Rounds {
 			names := make([]string, len(round))
 			for j, v := range round {
 				names[j] = in.G.Name(v)
 			}
 			fmt.Fprintf(out, "round %d: %s\n", i+1, strings.Join(names, ", "))
 		}
-		fmt.Fprintln(out, "(order replacement ignores capacities and delays; replay it on the validator to see transients)")
+		fmt.Fprintln(out, "(rounds ignore capacities and delays; replay them on the validator to see transients)")
 		return nil, nil
-	case "oneshot":
-		// The naive baseline: flip every switch simultaneously. It never
-		// shows an instantaneous configuration cycle, yet in-flight
-		// packets loop or collide — exactly the transients the validator
-		// and the runtime auditor must both flag.
-		s := chronus.NewSchedule(0)
-		for _, v := range in.UpdateSet() {
-			s.Set(v, 0)
-		}
-		printSchedule(out, in, s, jsonOut)
-		fmt.Fprintf(out, "validation: %s\n", chronus.Validate(in, s).Summary())
-		return s, nil
-	case "tree":
-		ok, err := chronus.Feasible(in)
-		if err != nil {
-			fmt.Fprintf(out, "tree check unavailable: %v\n", err)
-			return nil, nil
-		}
-		fmt.Fprintf(out, "feasible congestion- and loop-free sequence exists: %v\n", ok)
-		return nil, nil
-	default:
-		return nil, fmt.Errorf("unknown scheme %q", scheme)
 	}
+	printSchedule(out, in, res.Schedule, jsonOut)
+	if res.BestEffort {
+		fmt.Fprintln(out, "best-effort plan (transient violations possible; see validation)")
+	}
+	if nodes, ok := res.Diagnostics["nodes"]; ok {
+		fmt.Fprintf(out, "exact: %v (searched %d nodes)\n", res.Exact, nodes)
+	}
+	report := res.Report
+	if report == nil {
+		report = chronus.Validate(in, res.Schedule)
+	}
+	fmt.Fprintf(out, "validation: %s\n", report.Summary())
+	return res.Schedule, nil
 }
 
 func printSchedule(out io.Writer, in *chronus.Instance, s *chronus.Schedule, jsonOut bool) {

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	chronus "github.com/chronus-sdn/chronus"
 )
 
 func runCLI(t *testing.T, args ...string) string {
@@ -164,6 +166,22 @@ func TestCLIDOTOutput(t *testing.T) {
 	for _, want := range []string{"digraph", "\"v1\" -> \"v2\"", "dashed"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIListSchemes(t *testing.T) {
+	out := runCLI(t, "-list-schemes")
+	if want := strings.Join(chronus.Schemes(), "\n") + "\n"; out != want {
+		t.Fatalf("-list-schemes = %q, want %q", out, want)
+	}
+}
+
+func TestCLIAllRunsEveryScheme(t *testing.T) {
+	out := runCLI(t, "-instance", "fig1", "-scheme", "all")
+	for _, name := range chronus.Schemes() {
+		if !strings.Contains(out, "== "+name+" ==") {
+			t.Fatalf("-scheme all skipped %q:\n%s", name, out)
 		}
 	}
 }

@@ -1,0 +1,28 @@
+package chronus
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestDocsMentionEveryScheme keeps the prose in lockstep with the scheme
+// registry: every registered name must appear (backticked, so a plain
+// English word like "or" cannot satisfy the check by accident) in both
+// README.md and EXPERIMENTS.md. Registering a scheme without documenting
+// it fails here.
+func TestDocsMentionEveryScheme(t *testing.T) {
+	for _, doc := range []string{"README.md", "EXPERIMENTS.md"} {
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := string(data)
+		for _, name := range Schemes() {
+			if !strings.Contains(text, fmt.Sprintf("`%s`", name)) {
+				t.Errorf("%s does not mention scheme `%s`", doc, name)
+			}
+		}
+	}
+}

@@ -13,12 +13,14 @@
 package batch
 
 import (
-	"errors"
 	"fmt"
+	"sort"
+	"strings"
 
 	"github.com/chronus-sdn/chronus/internal/core"
 	"github.com/chronus-sdn/chronus/internal/dynflow"
 	"github.com/chronus-sdn/chronus/internal/graph"
+	"github.com/chronus-sdn/chronus/internal/scheme"
 )
 
 // Flow is one flow's update request.
@@ -35,11 +37,28 @@ type Flow struct {
 type Options struct {
 	// Start is the first tick of the whole batch.
 	Start dynflow.Tick
-	// Mode selects the per-flow scheduler engine (zero value: ModeExact).
+	// Scheme names the per-flow scheduler in the scheme registry. Empty
+	// derives "chronus" or "chronus-fast" from Mode. The named scheme must
+	// produce a timed schedule for every flow (round-based and
+	// decision-only schemes cannot be sequentially composed).
+	Scheme string
+	// Mode selects the greedy acceptance mode when Scheme is empty (zero
+	// value: ModeExact).
 	Mode core.Mode
 	// Gap adds idle ticks between consecutive flows' updates on top of the
 	// computed drain spacing.
 	Gap dynflow.Tick
+}
+
+// schemeName resolves the effective registry name.
+func (o Options) schemeName() string {
+	if o.Scheme != "" {
+		return o.Scheme
+	}
+	if o.Mode == core.ModeFast {
+		return "chronus-fast"
+	}
+	return "chronus"
 }
 
 // Plan is a scheduled batch.
@@ -70,6 +89,11 @@ var ErrInfeasible = core.ErrInfeasible
 // the sum of initial paths), and likewise the final configurations; Solve
 // verifies both before scheduling.
 func Solve(g *graph.Graph, flows []Flow, opts Options) (*Plan, error) {
+	name := opts.schemeName()
+	s, err := scheme.Lookup(name)
+	if err != nil {
+		return nil, fmt.Errorf("batch: %w", err)
+	}
 	if len(flows) == 0 {
 		return &Plan{Report: &dynflow.JointReport{}}, nil
 	}
@@ -91,12 +115,12 @@ func Solve(g *graph.Graph, flows []Flow, opts Options) (*Plan, error) {
 		if err := in.Validate(); err != nil {
 			return nil, fmt.Errorf("batch: flow %q: %w", f.Name, err)
 		}
-		res, err := core.Greedy(in, core.Options{Start: start, Mode: opts.Mode})
+		res, err := s.Solve(in, scheme.Options{Start: start})
 		if err != nil {
-			if errors.Is(err, core.ErrInfeasible) {
-				return nil, fmt.Errorf("batch: flow %q: %w", f.Name, err)
-			}
-			return nil, err
+			return nil, fmt.Errorf("batch: flow %q: %w", f.Name, err)
+		}
+		if res.Schedule == nil {
+			return nil, fmt.Errorf("batch: flow %q: scheme %q produced no timed schedule to compose", f.Name, name)
 		}
 		// Re-anchor the schedule on the shared graph's instance for joint
 		// validation and for callers executing the plan.
@@ -114,9 +138,32 @@ func Solve(g *graph.Graph, flows []Flow, opts Options) (*Plan, error) {
 	}
 	plan.Report = report
 	if !report.OK() {
-		return plan, fmt.Errorf("batch: joint validation failed: %s", report.Summary())
+		return plan, fmt.Errorf("batch: joint validation failed for flow(s) %s: %s",
+			strings.Join(violatingFlows(report, flows), ", "), report.Summary())
 	}
 	return plan, nil
+}
+
+// violatingFlows names the flows implicated in a failed joint report: the
+// owners of per-flow events when there are any, otherwise (congestion has
+// no single owner) every flow in the batch.
+func violatingFlows(report *dynflow.JointReport, flows []Flow) []string {
+	seen := map[string]bool{}
+	var names []string
+	for _, ev := range report.Events {
+		if !seen[ev.Flow] {
+			seen[ev.Flow] = true
+			names = append(names, fmt.Sprintf("%q", ev.Flow))
+		}
+	}
+	if len(names) > 0 {
+		sort.Strings(names)
+		return names
+	}
+	for _, f := range flows {
+		names = append(names, fmt.Sprintf("%q", f.Name))
+	}
+	return names
 }
 
 // residualGraph reduces every link's capacity by the steady loads of the
@@ -178,25 +225,48 @@ func flowUsesLink(f Flow, from, to graph.NodeID) bool {
 }
 
 // checkSteadyState verifies that the summed steady loads respect every
-// link capacity; final selects the final paths.
+// link capacity; final selects the final paths. Violations name the
+// contributing flows, and links are checked in a fixed order so the first
+// reported violation is deterministic.
 func checkSteadyState(g *graph.Graph, flows []Flow, final bool) error {
-	load := make(map[[2]graph.NodeID]graph.Capacity)
+	type linkLoad struct {
+		total graph.Capacity
+		names []string
+	}
+	loads := make(map[[2]graph.NodeID]*linkLoad)
+	var keys [][2]graph.NodeID
 	for _, f := range flows {
 		p := f.Init
 		if final {
 			p = f.Fin
 		}
 		for k := 1; k < len(p); k++ {
-			load[[2]graph.NodeID{p[k-1], p[k]}] += f.Demand
+			key := [2]graph.NodeID{p[k-1], p[k]}
+			l := loads[key]
+			if l == nil {
+				l = &linkLoad{}
+				loads[key] = l
+				keys = append(keys, key)
+			}
+			l.total += f.Demand
+			l.names = append(l.names, fmt.Sprintf("%q", f.Name))
 		}
 	}
-	for key, d := range load {
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, key := range keys {
+		d := loads[key]
+		who := strings.Join(d.names, ", ")
 		l, ok := g.Link(key[0], key[1])
 		if !ok {
-			return fmt.Errorf("missing link %s->%s", g.Name(key[0]), g.Name(key[1]))
+			return fmt.Errorf("missing link %s->%s used by flow(s) %s", g.Name(key[0]), g.Name(key[1]), who)
 		}
-		if d > l.Cap {
-			return fmt.Errorf("link %s->%s oversubscribed: %d > %d", g.Name(key[0]), g.Name(key[1]), d, l.Cap)
+		if d.total > l.Cap {
+			return fmt.Errorf("link %s->%s oversubscribed by flow(s) %s: %d > %d", g.Name(key[0]), g.Name(key[1]), who, d.total, l.Cap)
 		}
 	}
 	return nil

@@ -3,11 +3,13 @@ package batch
 import (
 	"errors"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"github.com/chronus-sdn/chronus/internal/core"
 	"github.com/chronus-sdn/chronus/internal/dynflow"
 	"github.com/chronus-sdn/chronus/internal/graph"
+	"github.com/chronus-sdn/chronus/internal/scheme"
 	"github.com/chronus-sdn/chronus/internal/topo"
 )
 
@@ -193,5 +195,101 @@ func TestBatchRandomJointClean(t *testing.T) {
 	}
 	if accepted == 0 {
 		t.Fatal("no batch accepted across 30 trials")
+	}
+}
+
+// TestBatchErrorsNameFlow asserts the satellite contract: every error
+// Solve can return carries the offending flow's name, so a failed batch
+// of hundreds of flows is debuggable from the message alone.
+func TestBatchErrorsNameFlow(t *testing.T) {
+	// Oversubscribed steady state: both finals cross the (m, n) bottleneck.
+	gg := graph.New()
+	ids := gg.AddNodes("a", "b", "m", "n", "x", "y")
+	a, b, m, n, x, y := ids[0], ids[1], ids[2], ids[3], ids[4], ids[5]
+	gg.MustAddLink(a, m, 1, 1)
+	gg.MustAddLink(b, m, 1, 1)
+	gg.MustAddLink(m, n, 1, 1)
+	gg.MustAddLink(n, x, 1, 1)
+	gg.MustAddLink(n, y, 1, 1)
+	gg.MustAddLink(a, x, 1, 1)
+	gg.MustAddLink(b, y, 1, 1)
+	over := []Flow{
+		{Name: "alpha", Demand: 1, Init: graph.Path{a, x}, Fin: graph.Path{a, m, n, x}},
+		{Name: "beta", Demand: 1, Init: graph.Path{b, y}, Fin: graph.Path{b, m, n, y}},
+	}
+	_, err := Solve(gg, over, Options{})
+	if err == nil {
+		t.Fatal("oversubscribed final accepted")
+	}
+	for _, want := range []string{`"alpha"`, `"beta"`} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("oversubscription error %q does not name flow %s", err, want)
+		}
+	}
+
+	// Missing link in a steady state.
+	bogus := []Flow{{Name: "ghost", Demand: 1, Init: graph.Path{a, x}, Fin: graph.Path{a, y}}}
+	_, err = Solve(gg, bogus, Options{})
+	if err == nil || !strings.Contains(err.Error(), `"ghost"`) {
+		t.Fatalf("missing-link error does not name flow: %v", err)
+	}
+
+	// Mixed-configuration saturation (residualGraph path).
+	g2 := graph.New()
+	ids2 := g2.AddNodes("a", "b", "c", "d", "e")
+	a2, b2, c2, d2, e2 := ids2[0], ids2[1], ids2[2], ids2[3], ids2[4]
+	g2.MustAddLink(a2, c2, 1, 1)
+	g2.MustAddLink(b2, c2, 1, 1)
+	g2.MustAddLink(c2, d2, 1, 1)
+	g2.MustAddLink(a2, d2, 1, 1)
+	g2.MustAddLink(b2, e2, 9, 1)
+	g2.MustAddLink(e2, d2, 9, 1)
+	mixed := []Flow{
+		{Name: "first", Demand: 1, Init: graph.Path{a2, d2}, Fin: graph.Path{a2, c2, d2}},
+		{Name: "second", Demand: 1, Init: graph.Path{b2, c2, d2}, Fin: graph.Path{b2, e2, d2}},
+	}
+	_, err = Solve(g2, mixed, Options{})
+	if err == nil || !strings.Contains(err.Error(), `"second"`) && !strings.Contains(err.Error(), `"first"`) {
+		t.Fatalf("mixed-saturation error does not name a flow: %v", err)
+	}
+
+	// A scheme that plans rounds, not timed schedules, cannot compose.
+	g3, flows3 := twoFlowNet(t)
+	_, err = Solve(g3, flows3, Options{Scheme: "or"})
+	if err == nil || !strings.Contains(err.Error(), `"f1"`) {
+		t.Fatalf("untimed-scheme error does not name flow: %v", err)
+	}
+
+	// Unknown scheme name (no flow to blame; the registry lists names).
+	_, err = Solve(g3, flows3, Options{Scheme: "nope"})
+	if !errors.Is(err, scheme.ErrUnknown) {
+		t.Fatalf("unknown scheme error = %v", err)
+	}
+}
+
+// TestBatchCrossSchemeJointClean is the batch half of the cross-scheme
+// property: every registered scheme that can produce timed schedules
+// yields batches whose joint report is clean (best-effort schemes are
+// allowed to fail joint validation and are skipped when they do).
+func TestBatchCrossSchemeJointClean(t *testing.T) {
+	for _, name := range scheme.Names() {
+		g, flows := twoFlowNet(t)
+		plan, err := Solve(g, flows, Options{Scheme: name})
+		if err != nil {
+			// Round-based and decision-only schemes cannot compose; their
+			// refusal must name the first flow. Best-effort schemes may
+			// fail joint validation instead.
+			if !strings.Contains(err.Error(), `"f1"`) && !strings.Contains(err.Error(), "joint validation") {
+				t.Fatalf("%s: unexpected error: %v", name, err)
+			}
+			continue
+		}
+		if !plan.Report.OK() {
+			t.Fatalf("%s: accepted batch violates: %s", name, plan.Report.Summary())
+		}
+		report, jerr := dynflow.ValidateJoint(plan.Updates)
+		if jerr != nil || !report.OK() {
+			t.Fatalf("%s: re-validation failed: %v %s", name, jerr, report.Summary())
+		}
 	}
 }

@@ -5,10 +5,9 @@ import (
 	"time"
 
 	"github.com/chronus-sdn/chronus/internal/controller"
-	"github.com/chronus-sdn/chronus/internal/core"
-	"github.com/chronus-sdn/chronus/internal/dynflow"
 	"github.com/chronus-sdn/chronus/internal/emu"
 	"github.com/chronus-sdn/chronus/internal/metrics"
+	"github.com/chronus-sdn/chronus/internal/scheme"
 	"github.com/chronus-sdn/chronus/internal/sim"
 	"github.com/chronus-sdn/chronus/internal/timesync"
 	"github.com/chronus-sdn/chronus/internal/topo"
@@ -63,15 +62,7 @@ func AblationClockSkew(cfg Config) ([]ClockSkewPoint, error) {
 			return smp, err
 		}
 		h.AdvanceTo(300)
-		gr, err := core.Greedy(in, core.Options{Mode: core.ModeExact})
-		if err != nil {
-			return smp, err
-		}
-		s := dynflow.NewSchedule(400)
-		for v, tv := range gr.Schedule.Times {
-			s.Set(v, 400+tv)
-		}
-		if err := c.ExecuteTimed(in, s, f); err != nil {
+		if err := timedExecutor("chronus", 400)(in, c, h, f); err != nil {
 			return smp, err
 		}
 		h.AdvanceTo(900)
@@ -122,8 +113,24 @@ type ModePoint struct {
 	Instances                          int
 }
 
+// modeAccum is one scheme's running makespan/solve/time tally within the
+// acceptance-mode ablation.
+type modeAccum struct {
+	solved, count int
+	makespanSum   float64
+	seconds       float64
+}
+
+func (a *modeAccum) meanMakespan() float64 {
+	if a.count == 0 {
+		return 0
+	}
+	return a.makespanSum / float64(a.count)
+}
+
 // AblationAcceptanceMode compares ModeExact (validator-backed) against
-// ModeFast (closed-form in-flight accounting): solution quality (makespan),
+// ModeFast (closed-form in-flight accounting) and the drain-paced
+// sequential baseline, all via the registry: solution quality (makespan),
 // success rate and scheduling time. This quantifies what the paper's local
 // checks give up relative to ground-truth re-validation. One task per
 // switch count (each size keeps its own rngFor stream); the per-size
@@ -132,49 +139,40 @@ type ModePoint struct {
 func AblationAcceptanceMode(cfg Config) ([]ModePoint, error) {
 	return fanout(cfg, len(cfg.Sizes), func(si int) (ModePoint, error) {
 		n := cfg.Sizes[si]
+		cast, err := resolveCast([]schemeRun{
+			{name: "chronus"}, {name: "chronus-fast"}, {name: "sequential"},
+		})
+		if err != nil {
+			return ModePoint{}, err
+		}
 		rng := rngFor(cfg, "ablation-mode", int64(n))
 		p := ModePoint{N: n, Instances: cfg.InstancesPerRun}
-		var exSum, faSum, seqSum float64
-		var exCount, faCount, seqCount int
+		accum := map[string]*modeAccum{}
+		for _, r := range cast {
+			accum[r.name] = &modeAccum{}
+		}
 		for k := 0; k < cfg.InstancesPerRun; k++ {
-			in := topo.RandomInstance(rng, instanceParams(n))
-			start := time.Now()
-			ex, exErr := core.Greedy(in, core.Options{Mode: core.ModeExact})
-			p.ExactSeconds += time.Since(start).Seconds()
-			start = time.Now()
-			fa, faErr := core.Greedy(in, core.Options{Mode: core.ModeFast})
-			p.FastSeconds += time.Since(start).Seconds()
-			if exErr == nil {
-				p.ExactSolved++
-				exSum += float64(ex.Schedule.Makespan())
-				exCount++
-			} else if !errors.Is(exErr, core.ErrInfeasible) {
-				return p, exErr
-			}
-			if faErr == nil {
-				p.FastSolved++
-				faSum += float64(fa.Schedule.Makespan())
-				faCount++
-			} else if !errors.Is(faErr, core.ErrInfeasible) {
-				return p, faErr
-			}
-			if seq, seqErr := core.SequentialDrain(in, 0); seqErr == nil {
-				p.SeqSolved++
-				seqSum += float64(seq.Makespan())
-				seqCount++
-			} else if !errors.Is(seqErr, core.ErrInfeasible) {
-				return p, seqErr
+			ctx := newInstCtx(rng, instanceParams(n))
+			for _, r := range cast {
+				a := accum[r.name]
+				start := time.Now()
+				res, err := r.s.Solve(ctx.in, r.opts)
+				a.seconds += time.Since(start).Seconds()
+				if err != nil {
+					if errors.Is(err, scheme.ErrInfeasible) {
+						continue
+					}
+					return p, err
+				}
+				a.solved++
+				a.makespanSum += float64(res.Schedule.Makespan())
+				a.count++
 			}
 		}
-		if exCount > 0 {
-			p.ExactMakespan = exSum / float64(exCount)
-		}
-		if faCount > 0 {
-			p.FastMakespan = faSum / float64(faCount)
-		}
-		if seqCount > 0 {
-			p.SeqMakespan = seqSum / float64(seqCount)
-		}
+		exact, fast, seq := accum["chronus"], accum["chronus-fast"], accum["sequential"]
+		p.ExactSolved, p.FastSolved, p.SeqSolved = exact.solved, fast.solved, seq.solved
+		p.ExactMakespan, p.FastMakespan, p.SeqMakespan = exact.meanMakespan(), fast.meanMakespan(), seq.meanMakespan()
+		p.ExactSeconds, p.FastSeconds = exact.seconds, fast.seconds
 		return p, nil
 	})
 }
@@ -212,7 +210,7 @@ func AblationExecutionMode(cfg Config) ([]ExecModePoint, error) {
 	// caches, so concurrent executions must not share one); the topology
 	// and the greedy schedule are deterministic, so both schemes still
 	// execute the identical update plan.
-	run := func(scheme string, exec func(in *dynflow.Instance, c *controller.Controller, h *controller.Harness, f controller.FlowSpec) error) (ExecModePoint, error) {
+	run := func(label string, exec executor) (ExecModePoint, error) {
 		in := topo.EmulationTopo()
 		h := controller.NewHarness(in.G)
 		c := controller.New(h, controller.Options{Seed: cfg.Seed, MinLatency: 1, MaxLatency: 8})
@@ -241,7 +239,7 @@ func AblationExecutionMode(cfg Config) ([]ExecModePoint, error) {
 			}
 		}
 		return ExecModePoint{
-			Scheme:        scheme,
+			Scheme:        label,
 			UpdateTicks:   last - tStart,
 			OverloadTicks: h.Net.TotalOverloadTicks(),
 			Drops:         drops,
@@ -249,36 +247,16 @@ func AblationExecutionMode(cfg Config) ([]ExecModePoint, error) {
 	}
 	// The two executions run on independent harnesses; dispatch both
 	// through the pool and keep the fixed (timed, barrier-paced) order.
-	schemes := []func() (ExecModePoint, error){
-		func() (ExecModePoint, error) {
-			return run("timed", func(in *dynflow.Instance, c *controller.Controller, h *controller.Harness, f controller.FlowSpec) error {
-				gr, err := core.Greedy(in, core.Options{Mode: core.ModeExact})
-				if err != nil {
-					return err
-				}
-				s := dynflow.NewSchedule(450)
-				for v, tv := range gr.Schedule.Times {
-					s.Set(v, 450+tv)
-				}
-				return c.ExecuteTimed(in, s, f)
-			})
-		},
-		func() (ExecModePoint, error) {
-			return run("barrier-paced", func(in *dynflow.Instance, c *controller.Controller, h *controller.Harness, f controller.FlowSpec) error {
-				gr, err := core.Greedy(in, core.Options{Mode: core.ModeExact})
-				if err != nil {
-					return err
-				}
-				s := dynflow.NewSchedule(0)
-				for v, tv := range gr.Schedule.Times {
-					s.Set(v, tv)
-				}
-				return c.ExecuteBarrierPaced(in, s, f, 1)
-			})
-		},
+	// Both plan the same registry scheme — only the execution differs.
+	entries := []struct {
+		label string
+		exec  executor
+	}{
+		{"timed", timedExecutor("chronus", 450)},
+		{"barrier-paced", pacedExecutor("chronus")},
 	}
-	return fanout(cfg, len(schemes), func(i int) (ExecModePoint, error) {
-		return schemes[i]()
+	return fanout(cfg, len(entries), func(i int) (ExecModePoint, error) {
+		return run(entries[i].label, entries[i].exec)
 	})
 }
 

@@ -14,13 +14,16 @@ import (
 // timed FlowMods (mirrors cmd/mutp's trace headroom).
 const auditHeadroom = 50
 
-// auditedExecution executes schedule s for instance in on a fresh
-// emulated testbed with a deterministic tracer attached, and returns the
-// runtime auditor's report over the recorded events. The testbed's only
-// randomness is the controller's seeded latency model, so for a fixed
-// seed the report is identical run to run — the audit columns of Fig. 7
-// stay byte-deterministic at every worker count.
-func auditedExecution(in *dynflow.Instance, s *dynflow.Schedule, seed int64) (*audit.Report, error) {
+// auditedExecution executes schedule s for the context's instance on a
+// fresh emulated testbed with a deterministic tracer attached, and returns
+// the runtime auditor's report over the recorded events. The drain horizon
+// comes from the shared instance context instead of being rederived per
+// execution. The testbed's only randomness is the controller's seeded
+// latency model, so for a fixed seed the report is identical run to run —
+// the audit columns of Fig. 7 stay byte-deterministic at every worker
+// count.
+func auditedExecution(ctx *instCtx, s *dynflow.Schedule, seed int64) (*audit.Report, error) {
+	in := ctx.in
 	reg := obs.NewRegistry()
 	tracer := obs.NewTracer(obs.TracerOptions{})
 	tb := controller.NewHarness(in.G)
@@ -35,27 +38,14 @@ func auditedExecution(in *dynflow.Instance, s *dynflow.Schedule, seed int64) (*a
 	tb.AdvanceBy(auditHeadroom)
 
 	start := dynflow.Tick(tb.Now()) + auditHeadroom
-	shifted := dynflow.NewSchedule(start)
-	for v, tv := range s.Times {
-		shifted.Set(v, start+(tv-s.Start))
-	}
+	shifted := shiftSchedule(s, start)
 	if err := ctl.ExecuteTimed(in, shifted, flow); err != nil {
 		return nil, err
 	}
-	drain := sim.Time(in.Init.Delay(in.G)+in.Fin.Delay(in.G)) + 10
+	drain := sim.Time(ctx.pathDelay) + 10
 	tb.AdvanceTo(sim.Time(shifted.End()) + drain)
 
 	a := audit.New()
 	a.Feed(tracer.Events(0)...)
 	return a.Report(), nil
-}
-
-// oneShotSchedule flips every switch of the update set at once — the
-// naive baseline whose in-flight transients the auditor must flag.
-func oneShotSchedule(in *dynflow.Instance) *dynflow.Schedule {
-	s := dynflow.NewSchedule(0)
-	for _, v := range in.UpdateSet() {
-		s.Set(v, 0)
-	}
-	return s
 }

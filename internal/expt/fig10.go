@@ -4,11 +4,8 @@ import (
 	"errors"
 	"time"
 
-	"github.com/chronus-sdn/chronus/internal/baseline"
-	"github.com/chronus-sdn/chronus/internal/core"
 	"github.com/chronus-sdn/chronus/internal/metrics"
-	"github.com/chronus-sdn/chronus/internal/opt"
-	"github.com/chronus-sdn/chronus/internal/topo"
+	"github.com/chronus-sdn/chronus/internal/scheme"
 )
 
 // Fig10Point is the running-time comparison at one switch count.
@@ -30,44 +27,49 @@ type Fig10Result struct {
 	Points []Fig10Point
 }
 
-// fig10Sample is one (size, instance) timing task's outcome.
-type fig10Sample struct {
-	chronus, or, opt    float64
-	orBudget, optBudget int
+// fig10Cast is the running-time scheme set: the fast greedy unbudgeted,
+// the two exact searches under the configured node and time budget.
+func fig10Cast(cfg Config) ([]schemeRun, error) {
+	budget := scheme.Budget{MaxNodes: cfg.BigNodes, Timeout: time.Duration(cfg.BigTimeoutSec) * time.Second}
+	return resolveCast([]schemeRun{
+		{name: "chronus-fast"},
+		{name: "or", opts: scheme.Options{Budget: budget}},
+		{name: "opt", opts: scheme.Options{Budget: budget}},
+	})
 }
 
-// fig10Instance times the three schemes on one random instance; the RNG
-// key is per (size, instance), so the instance population is identical at
-// every worker count (the measured seconds, like any wall-clock quantity,
-// are not — run with Procs = 1 for uncontended timings).
+// fig10Sample is one (size, instance) timing task's outcome, per scheme.
+type fig10Sample struct {
+	seconds map[string]float64
+	budget  map[string]int
+}
+
+// fig10Instance times the cast on one random instance; the RNG key is per
+// (size, instance), so the instance population is identical at every
+// worker count (the measured seconds, like any wall-clock quantity, are
+// not — run with Procs = 1 for uncontended timings).
 func fig10Instance(cfg Config, n, k int) (fig10Sample, error) {
-	var s fig10Sample
-	rng := rngFor(cfg, "fig10", int64(n)*100+int64(k))
-	in := topo.RandomInstance(rng, bigParams(n))
-
-	start := time.Now()
-	_, err := core.Greedy(in, core.Options{Mode: core.ModeFast})
-	s.chronus = time.Since(start).Seconds()
-	if err != nil && !errors.Is(err, core.ErrInfeasible) {
-		return s, err
-	}
-
-	timeout := time.Duration(cfg.BigTimeoutSec) * time.Second
-	start = time.Now()
-	orRes, err := baseline.OROptimal(in, baseline.OROptions{MaxNodes: cfg.BigNodes, Timeout: timeout})
-	s.or = time.Since(start).Seconds()
-	if err == nil && !orRes.Exact {
-		s.orBudget++
-	}
-
-	start = time.Now()
-	optRes, err := opt.Exact(in, opt.Options{MaxNodes: cfg.BigNodes, Timeout: timeout})
-	s.opt = time.Since(start).Seconds()
+	s := fig10Sample{seconds: map[string]float64{}, budget: map[string]int{}}
+	cast, err := fig10Cast(cfg)
 	if err != nil {
 		return s, err
 	}
-	if optRes.Status == opt.StatusBudget {
-		s.optBudget++
+	rng := rngFor(cfg, "fig10", int64(n)*100+int64(k))
+	ctx := newInstCtx(rng, bigParams(n))
+
+	for _, r := range cast {
+		start := time.Now()
+		res, err := r.s.Solve(ctx.in, r.opts)
+		s.seconds[r.name] = time.Since(start).Seconds()
+		if err != nil {
+			if errors.Is(err, scheme.ErrInfeasible) {
+				continue
+			}
+			return s, err
+		}
+		if res.Diagnostics["budget_exhausted"] > 0 {
+			s.budget[r.name]++
+		}
 	}
 	return s, nil
 }
@@ -85,11 +87,11 @@ func Fig10RunningTime(cfg Config) (*Fig10Result, error) {
 		point := Fig10Point{N: n}
 		for k := 0; k < cfg.BigInstances; k++ {
 			s := samples[si*cfg.BigInstances+k]
-			point.Chronus += s.chronus
-			point.OR += s.or
-			point.OPT += s.opt
-			point.ORBudget += s.orBudget
-			point.OPTBudget += s.optBudget
+			point.Chronus += s.seconds["chronus-fast"]
+			point.OR += s.seconds["or"]
+			point.OPT += s.seconds["opt"]
+			point.ORBudget += s.budget["or"]
+			point.OPTBudget += s.budget["opt"]
 		}
 		inv := 1 / float64(cfg.BigInstances)
 		point.Chronus *= inv

@@ -4,10 +4,8 @@ import (
 	"errors"
 	"fmt"
 
-	"github.com/chronus-sdn/chronus/internal/core"
 	"github.com/chronus-sdn/chronus/internal/metrics"
-	"github.com/chronus-sdn/chronus/internal/opt"
-	"github.com/chronus-sdn/chronus/internal/topo"
+	"github.com/chronus-sdn/chronus/internal/scheme"
 )
 
 // Fig11Result reproduces Fig. 11: the CDF of the total update time (the
@@ -31,6 +29,16 @@ type fig11Sample struct {
 	chronus, opt      float64
 }
 
+// fig11Cast pairs the exact-mode greedy against the budgeted exact search;
+// an instance enters the CDFs only when every cast scheme produced a timed
+// schedule.
+func fig11Cast(cfg Config) ([]schemeRun, error) {
+	return resolveCast([]schemeRun{
+		{name: "chronus"},
+		{name: "opt", opts: scheme.Options{Budget: scheme.Budget{MaxNodes: cfg.OPTNodes}}},
+	})
+}
+
 // Fig11UpdateTimeCDF computes update-time distributions over
 // cfg.CDFInstances random instances with cfg.CDFSize switches. Each
 // instance is an independent task with its own rngFor generator (keyed by
@@ -38,25 +46,36 @@ type fig11Sample struct {
 // CDFs are identical at every cfg.Procs.
 func Fig11UpdateTimeCDF(cfg Config) (*Fig11Result, error) {
 	res := &Fig11Result{N: cfg.CDFSize}
+	cast, err := fig11Cast(cfg)
+	if err != nil {
+		return nil, err
+	}
 	samples, err := fanout(cfg, cfg.CDFInstances, func(k int) (fig11Sample, error) {
 		var s fig11Sample
 		rng := rngFor(cfg, "fig11", int64(cfg.CDFSize)*1_000_000+int64(k))
-		in := topo.RandomInstance(rng, instanceParams(cfg.CDFSize))
-		gres, gerr := core.Greedy(in, core.Options{Mode: core.ModeExact})
-		ores, oerr := opt.Exact(in, opt.Options{MaxNodes: cfg.OPTNodes})
-		if oerr != nil {
-			return s, oerr
-		}
-		if gerr != nil && !errors.Is(gerr, core.ErrInfeasible) {
-			return s, gerr
-		}
-		if gerr != nil || ores.Schedule == nil {
-			return s, nil // excluded: no congestion-free update time
+		ctx := newInstCtx(rng, instanceParams(cfg.CDFSize))
+		makespans := make(map[string]float64, len(cast))
+		budgetHit := false
+		for _, r := range cast {
+			cres, err := r.s.Solve(ctx.in, r.opts)
+			if err != nil {
+				if errors.Is(err, scheme.ErrInfeasible) {
+					return s, nil // excluded: no congestion-free update time
+				}
+				return s, err
+			}
+			if cres.Schedule == nil {
+				return s, nil // budget exhausted with no incumbent: excluded
+			}
+			makespans[r.name] = float64(cres.Schedule.Makespan())
+			if cres.Diagnostics["budget_exhausted"] > 0 {
+				budgetHit = true
+			}
 		}
 		s.solved = true
-		s.budgetHit = ores.Status == opt.StatusBudget
-		s.chronus = float64(gres.Schedule.Makespan())
-		s.opt = float64(ores.Schedule.Makespan())
+		s.budgetHit = budgetHit
+		s.chronus = makespans["chronus"]
+		s.opt = makespans["opt"]
 		return s, nil
 	})
 	if err != nil {

@@ -3,10 +3,7 @@ package expt
 import (
 	"fmt"
 
-	"github.com/chronus-sdn/chronus/internal/baseline"
 	"github.com/chronus-sdn/chronus/internal/controller"
-	"github.com/chronus-sdn/chronus/internal/core"
-	"github.com/chronus-sdn/chronus/internal/dynflow"
 	"github.com/chronus-sdn/chronus/internal/emu"
 	"github.com/chronus-sdn/chronus/internal/metrics"
 	"github.com/chronus-sdn/chronus/internal/sim"
@@ -53,67 +50,53 @@ func Fig6Bandwidth(cfg Config) (*Fig6Result, error) {
 	windowStart := sim.Time(fig6UpdateAt - 2*cfg.Fig6Interval)
 	windowEnd := windowStart + sim.Time(int64(cfg.Fig6Samples)*cfg.Fig6Interval)
 
-	// Each scheme runs on a fresh network (and its own instance copy:
+	// Each series runs on a fresh network (and its own instance copy:
 	// Instance carries lazy caches, so concurrent runs must not share
 	// one); the monitored link is chosen after the fact as the one OR
 	// overloads hardest (relative to its capacity), which is the link the
 	// paper's figure zooms in on. All three series then read the same
 	// link's counters.
 	type runState struct {
-		scheme string
-		h      *controller.Harness
+		scheme  string
+		monitor bool
+		h       *controller.Harness
 	}
 
-	run := func(scheme string, execute func(in *dynflow.Instance, c *controller.Controller, h *controller.Harness, f controller.FlowSpec) error) (runState, error) {
+	run := func(label string, execute executor) (runState, error) {
 		in := topo.EmulationTopo()
 		h := controller.NewHarness(in.G)
 		c := controller.New(h, controller.Options{Seed: cfg.Seed})
 		c.AttachAll(nil)
 		f := controller.FlowSpec{Name: "agg", Tag: 0, Path: in.Init, Rate: emu.Rate(in.Demand)}
 		if err := c.Provision(f); err != nil {
-			return runState{}, fmt.Errorf("%s: provision: %w", scheme, err)
+			return runState{}, fmt.Errorf("%s: provision: %w", label, err)
 		}
 		h.AdvanceTo(fig6UpdateAt)
 		if err := execute(in, c, h, f); err != nil {
-			return runState{}, fmt.Errorf("%s: execute: %w", scheme, err)
+			return runState{}, fmt.Errorf("%s: execute: %w", label, err)
 		}
 		h.AdvanceTo(windowEnd + 10)
-		return runState{scheme: scheme, h: h}, nil
+		return runState{scheme: label, h: h}, nil
 	}
 
-	schemes := []func() (runState, error){
-		func() (runState, error) {
-			return run("chronus", func(in *dynflow.Instance, c *controller.Controller, h *controller.Harness, f controller.FlowSpec) error {
-				gr, err := core.Greedy(in, core.Options{Mode: core.ModeExact})
-				if err != nil {
-					return err
-				}
-				// Shift the relative schedule past the control latency.
-				s := dynflow.NewSchedule(fig6UpdateAt + 50)
-				for v, tv := range gr.Schedule.Times {
-					s.Set(v, fig6UpdateAt+50+tv)
-				}
-				return c.ExecuteTimed(in, s, f)
-			})
-		},
-		func() (runState, error) {
-			return run("tp", func(in *dynflow.Instance, c *controller.Controller, h *controller.Harness, f controller.FlowSpec) error {
-				return c.ExecuteTwoPhase(in, f, 1)
-			})
-		},
-		func() (runState, error) {
-			return run("or", func(in *dynflow.Instance, c *controller.Controller, h *controller.Harness, f controller.FlowSpec) error {
-				rounds, err := baseline.ORGreedy(in)
-				if err != nil {
-					return err
-				}
-				s := baseline.ORSchedule(rounds, baseline.ORScheduleOptions{Start: 0, RoundWidth: 1})
-				return c.ExecuteBarrierPaced(in, s, f, 1)
-			})
-		},
+	// The figure's cast: Chronus plans via the registry and executes
+	// time-triggered (shifted past the control latency), two-phase commit
+	// is a pure execution strategy, and OR plans rounds via the registry
+	// and paces them with barriers. The monitor flag marks the run whose
+	// worst overloaded link the figure zooms in on.
+	entries := []struct {
+		label   string
+		monitor bool
+		exec    executor
+	}{
+		{"chronus", false, timedExecutor("chronus", fig6UpdateAt+50)},
+		{"tp", false, twoPhaseExecutor()},
+		{"or", true, roundExecutor("or", 1)},
 	}
-	runs, err := fanout(cfg, len(schemes), func(i int) (runState, error) {
-		return schemes[i]()
+	runs, err := fanout(cfg, len(entries), func(i int) (runState, error) {
+		st, err := run(entries[i].label, entries[i].exec)
+		st.monitor = entries[i].monitor
+		return st, err
 	})
 	if err != nil {
 		return nil, err
@@ -127,7 +110,7 @@ func Fig6Bandwidth(cfg Config) (*Fig6Result, error) {
 	from, to := in.Fin[len(in.Fin)-2], in.Fin[len(in.Fin)-1]
 	bestPeak := 0.0
 	for _, st := range runs {
-		if st.scheme != "or" {
+		if !st.monitor {
 			continue
 		}
 		for _, l := range st.h.Net.Links() {

@@ -2,13 +2,12 @@ package expt
 
 import (
 	"errors"
+	"math/rand"
 
 	"github.com/chronus-sdn/chronus/internal/baseline"
-	"github.com/chronus-sdn/chronus/internal/core"
 	"github.com/chronus-sdn/chronus/internal/dynflow"
 	"github.com/chronus-sdn/chronus/internal/metrics"
-	"github.com/chronus-sdn/chronus/internal/opt"
-	"github.com/chronus-sdn/chronus/internal/topo"
+	"github.com/chronus-sdn/chronus/internal/scheme"
 )
 
 // SizePoint aggregates one scheme's outcome at one switch count.
@@ -50,65 +49,129 @@ type Fig8Result struct {
 	Chronus, OR []SizePoint
 }
 
-// qualityTally is one (size, run) task's partial counts; per-size points
-// merge tallies in run order.
+// fig7Cast is the Fig. 7/8 scheme set, resolved from the registry. The
+// order is load-bearing twice over: the OR replay consumes rng jitter
+// right after the instance draw it belongs to, and the first entry is the
+// timed scheme whose sampled executions the runtime audit cross-checks.
+func fig7Cast(cfg Config) ([]schemeRun, error) {
+	return resolveCast([]schemeRun{
+		{name: "chronus", opts: scheme.Options{BestEffort: true}},
+		{name: "or"},
+		{name: "opt", opts: scheme.Options{Budget: scheme.Budget{MaxNodes: cfg.OPTNodes}}, sampled: true},
+	})
+}
+
+// schemeTally is one scheme's partial counts within a task.
+type schemeTally struct {
+	free, total int
+	congSum     float64
+}
+
+// score folds one solve outcome into the tally, dispatching on the shape
+// of the result rather than the scheme's name: timed schedules count their
+// validated report (clean by construction unless flagged best-effort),
+// round sequences are replayed on the validator with intra-round jitter
+// from rng, and infeasibility charges the whole final path.
+func (st *schemeTally) score(ctx *instCtx, res *scheme.Result, err error, rng *rand.Rand, width dynflow.Tick) {
+	st.total++
+	switch {
+	case err != nil:
+		// Infeasible for this scheme's notion of a solution: stuck rounds
+		// or a proven-empty search. Count the whole path as congested.
+		st.congSum += float64(len(ctx.in.Fin))
+	case res.Rounds != nil && res.Schedule == nil:
+		s := baseline.ORSchedule(res.Rounds, baseline.ORScheduleOptions{Start: 0, RoundWidth: width, Rng: rng})
+		r := dynflow.Validate(ctx.in, s)
+		st.congSum += float64(r.CongestedLinkInstances())
+		// Congestion-free means no congested link instances and no
+		// transient loops — the same test the best-effort branch applies.
+		if r.CongestedLinkInstances() == 0 && len(r.Loops) == 0 {
+			st.free++
+		}
+	case res.Schedule != nil && res.BestEffort:
+		st.congSum += float64(res.Report.CongestedLinkInstances())
+		if res.Report.CongestedLinkInstances() == 0 && len(res.Report.Loops) == 0 {
+			st.free++
+		}
+	case res.Schedule != nil:
+		st.free++ // violation-free by construction (property-tested)
+	default:
+		// Budget ran out with no incumbent: not congestion-free, nothing
+		// measurable to charge.
+	}
+}
+
+// qualityTally is one (size, run) task's partial counts per cast scheme;
+// per-size points merge tallies in run order.
 type qualityTally struct {
-	chrFree, orFree, optFree    int
-	chrTotal, orTotal, optTotal int
-	chrCongSum, orCongSum       float64
-	auditChecks, auditAgree     int
+	schemes                 map[string]*schemeTally
+	auditChecks, auditAgree int
+}
+
+func (t *qualityTally) tally(name string) *schemeTally {
+	if t.schemes == nil {
+		t.schemes = map[string]*schemeTally{}
+	}
+	st, ok := t.schemes[name]
+	if !ok {
+		st = &schemeTally{}
+		t.schemes[name] = st
+	}
+	return st
 }
 
 func (t *qualityTally) add(o qualityTally) {
-	t.chrFree += o.chrFree
-	t.orFree += o.orFree
-	t.optFree += o.optFree
-	t.chrTotal += o.chrTotal
-	t.orTotal += o.orTotal
-	t.optTotal += o.optTotal
-	t.chrCongSum += o.chrCongSum
-	t.orCongSum += o.orCongSum
+	for name, st := range o.schemes {
+		dst := t.tally(name)
+		dst.free += st.free
+		dst.total += st.total
+		dst.congSum += st.congSum
+	}
 	t.auditChecks += o.auditChecks
 	t.auditAgree += o.auditAgree
 }
 
 // qualityRun evaluates one run's InstancesPerRun instances under its own
-// rngFor-derived generator; it is the unit of the parallel fan-out.
+// rngFor-derived generator; it is the unit of the parallel fan-out. Each
+// instance context is built once and shared by every cast scheme.
 func qualityRun(cfg Config, n, run int) (qualityTally, error) {
 	rng := rngFor(cfg, "fig7", int64(n)*1000+int64(run))
-	evalOPT := run < cfg.OPTRuns
+	cast, err := fig7Cast(cfg)
+	if err != nil {
+		return qualityTally{}, err
+	}
+	evalSampled := run < cfg.OPTRuns
 	var t qualityTally
 	for k := 0; k < cfg.InstancesPerRun; k++ {
-		in := topo.RandomInstance(rng, instanceParams(n))
+		ctx := newInstCtx(rng, instanceParams(n))
 
-		// Chronus: the exact-mode greedy (the quality variant at
-		// these sizes); on infeasibility the remaining switches
-		// flip after the drain (best effort) and the validator
-		// counts the damage.
-		res, err := core.Greedy(in, core.Options{Mode: core.ModeExact, BestEffort: true})
-		if err != nil && !errors.Is(err, core.ErrInfeasible) {
-			return t, err
-		}
-		t.chrTotal++
-		if res.BestEffort {
-			t.chrCongSum += float64(res.Report.CongestedLinkInstances())
-			if res.Report.CongestedLinkInstances() == 0 && len(res.Report.Loops) == 0 {
-				t.chrFree++
+		// cast[0] is the timed scheme whose sampled executions the
+		// runtime audit replays below.
+		var timed *scheme.Result
+		for i, r := range cast {
+			if r.sampled && !evalSampled {
+				continue
 			}
-		} else {
-			t.chrFree++ // violation-free by construction (property-tested)
+			res, err := r.s.Solve(ctx.in, r.opts)
+			if err != nil && !errors.Is(err, scheme.ErrInfeasible) {
+				return t, err
+			}
+			t.tally(r.name).score(ctx, res, err, rng, cfg.ORRoundWidth)
+			if i == 0 {
+				timed = res
+			}
 		}
 
 		// Runtime audit cross-check on the first instance of each run:
 		// execute on the emulated testbed and let the trace auditor
 		// re-derive the verdict independently of the validator. A clean
-		// Chronus schedule must audit clean; the one-shot baseline must be
-		// flagged whenever the validator flags it. The testbed draws no
-		// numbers from rng, so the other columns are unaffected.
+		// schedule must audit clean; the one-shot baseline must be flagged
+		// whenever the validator flags it. The testbed draws no numbers
+		// from rng, so the other columns are unaffected.
 		if k == 0 {
 			execSeed := int64(n)*100_003 + int64(run)
-			if !res.BestEffort {
-				rep, err := auditedExecution(in, res.Schedule, execSeed)
+			if timed != nil && !timed.BestEffort {
+				rep, err := auditedExecution(ctx, timed.Schedule, execSeed)
 				if err != nil {
 					return t, err
 				}
@@ -117,45 +180,17 @@ func qualityRun(cfg Config, n, run int) (qualityTally, error) {
 					t.auditAgree++
 				}
 			}
-			oneShot := oneShotSchedule(in)
-			rep, err := auditedExecution(in, oneShot, execSeed+1)
+			oneShot, err := scheme.Solve("oneshot", ctx.in, scheme.Options{})
+			if err != nil {
+				return t, err
+			}
+			rep, err := auditedExecution(ctx, oneShot.Schedule, execSeed+1)
 			if err != nil {
 				return t, err
 			}
 			t.auditChecks++
-			if dynflow.Validate(in, oneShot).OK() == rep.OK() && rep.DetectorsAgree {
+			if oneShot.Report.OK() == rep.OK() && rep.DetectorsAgree {
 				t.auditAgree++
-			}
-		}
-
-		// OR: loop-free rounds replayed with intra-round jitter.
-		rounds, err := baseline.ORGreedy(in)
-		t.orTotal++
-		if err != nil {
-			t.orCongSum += float64(len(in.Fin)) // stuck: count the whole path
-		} else {
-			s := baseline.ORSchedule(rounds, baseline.ORScheduleOptions{
-				Start: 0, RoundWidth: cfg.ORRoundWidth, Rng: rng,
-			})
-			r := dynflow.Validate(in, s)
-			t.orCongSum += float64(r.CongestedLinkInstances())
-			// Congestion-free means no congested link instances and no
-			// transient loops — the same test Chronus's best-effort
-			// branch applies above.
-			if r.CongestedLinkInstances() == 0 && len(r.Loops) == 0 {
-				t.orFree++
-			}
-		}
-
-		// OPT: budgeted exact feasibility on the sampled runs.
-		if evalOPT {
-			feasible, _, err := opt.Feasible(in, opt.Options{MaxNodes: cfg.OPTNodes})
-			if err != nil {
-				return t, err
-			}
-			t.optTotal++
-			if feasible {
-				t.optFree++
 			}
 		}
 	}
@@ -164,11 +199,11 @@ func qualityRun(cfg Config, n, run int) (qualityTally, error) {
 
 // EvaluateQuality runs the Fig. 7/8 simulation: per switch count, Runs
 // independent runs of InstancesPerRun random update instances; each
-// instance is scheduled by Chronus (fast greedy with best-effort fallback),
-// replayed under OR rounds with intra-round jitter, and — on a subset of
-// runs — decided by budgeted OPT. Runs execute concurrently (cfg.Procs
-// workers) and merge in (size, run) order, so the result is independent of
-// the worker count.
+// instance is evaluated by the registry cast of fig7Cast (Chronus with
+// best-effort fallback, OR rounds replayed with intra-round jitter, and —
+// on a subset of runs — budgeted OPT). Runs execute concurrently
+// (cfg.Procs workers) and merge in (size, run) order, so the result is
+// independent of the worker count.
 func EvaluateQuality(cfg Config) (*Fig7Result, *Fig8Result, error) {
 	f7 := &Fig7Result{}
 	f8 := &Fig8Result{}
@@ -183,12 +218,13 @@ func EvaluateQuality(cfg Config) (*Fig7Result, *Fig8Result, error) {
 		for run := 0; run < cfg.Runs; run++ {
 			t.add(tallies[si*cfg.Runs+run])
 		}
-		f7.Chronus = append(f7.Chronus, SizePoint{N: n, CongestionFreePct: metrics.Percent(t.chrFree, t.chrTotal), Instances: t.chrTotal})
-		f7.OR = append(f7.OR, SizePoint{N: n, CongestionFreePct: metrics.Percent(t.orFree, t.orTotal), Instances: t.orTotal})
-		f7.OPT = append(f7.OPT, SizePoint{N: n, CongestionFreePct: metrics.Percent(t.optFree, t.optTotal), Instances: t.optTotal})
+		chr, or, opt := t.tally("chronus"), t.tally("or"), t.tally("opt")
+		f7.Chronus = append(f7.Chronus, SizePoint{N: n, CongestionFreePct: metrics.Percent(chr.free, chr.total), Instances: chr.total})
+		f7.OR = append(f7.OR, SizePoint{N: n, CongestionFreePct: metrics.Percent(or.free, or.total), Instances: or.total})
+		f7.OPT = append(f7.OPT, SizePoint{N: n, CongestionFreePct: metrics.Percent(opt.free, opt.total), Instances: opt.total})
 		f7.Audit = append(f7.Audit, AuditPoint{N: n, Checks: t.auditChecks, Agree: t.auditAgree})
-		f8.Chronus = append(f8.Chronus, SizePoint{N: n, MeanCongestedLinks: t.chrCongSum / float64(t.chrTotal), Instances: t.chrTotal})
-		f8.OR = append(f8.OR, SizePoint{N: n, MeanCongestedLinks: t.orCongSum / float64(t.orTotal), Instances: t.orTotal})
+		f8.Chronus = append(f8.Chronus, SizePoint{N: n, MeanCongestedLinks: chr.congSum / float64(chr.total), Instances: chr.total})
+		f8.OR = append(f8.OR, SizePoint{N: n, MeanCongestedLinks: or.congSum / float64(or.total), Instances: or.total})
 	}
 	return f7, f8, nil
 }

@@ -1,0 +1,114 @@
+package scheme
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/chronus-sdn/chronus/internal/dynflow"
+	"github.com/chronus-sdn/chronus/internal/obs"
+	"github.com/chronus-sdn/chronus/internal/topo"
+)
+
+// The full built-in cast, in the sorted order the registry reports it.
+var builtins = []string{"chronus", "chronus-fast", "oneshot", "opt", "or", "sequential", "tree"}
+
+func TestRegistryNames(t *testing.T) {
+	names := Names()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("Names not sorted: %v", names)
+	}
+	if len(names) != len(builtins) {
+		t.Fatalf("registered %v, want %v", names, builtins)
+	}
+	for i, want := range builtins {
+		if names[i] != want {
+			t.Fatalf("registered %v, want %v", names, builtins)
+		}
+	}
+	for _, name := range names {
+		s, ok := Get(name)
+		if !ok || s.Name() != name {
+			t.Fatalf("Get(%q) = %v, %v", name, s, ok)
+		}
+	}
+	if all := All(); len(all) != len(names) || all[0].Name() != names[0] {
+		t.Fatalf("All() out of step with Names(): %d schemes", len(all))
+	}
+}
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	Register(oneshotScheme{})
+}
+
+func TestLookupUnknown(t *testing.T) {
+	_, err := Lookup("definitely-not-a-scheme")
+	if !errors.Is(err, ErrUnknown) {
+		t.Fatalf("err = %v, want ErrUnknown", err)
+	}
+	// The error must teach the caller the valid names.
+	for _, name := range builtins {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not list %q", err, name)
+		}
+	}
+}
+
+func TestSolveRecordsSchemeLabelledMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	in := topo.Fig1Example()
+	if _, err := Solve("chronus", in, Options{Obs: reg}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Solve("oneshot", in, Options{Obs: reg}); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter(`chronus_scheme_solve_total{scheme="chronus",outcome="ok"}`).Value(); got != 1 {
+		t.Fatalf("chronus ok counter = %d", got)
+	}
+	if got := reg.Counter(`chronus_scheme_solve_total{scheme="oneshot",outcome="best_effort"}`).Value(); got != 1 {
+		t.Fatalf("oneshot best_effort counter = %d", got)
+	}
+}
+
+// The registry's core safety property: whatever the scheme, a result it
+// does NOT flag as best-effort must withstand the ground-truth validator.
+// Timed schedules validate directly; round-based results are replayed at
+// one round per tick; decision-only results are exercised through their
+// witness order.
+func TestCrossSchemePropertyValidate(t *testing.T) {
+	for _, n := range []int{8, 16} {
+		rng := rand.New(rand.NewSource(4000 + int64(n)))
+		for trial := 0; trial < 12; trial++ {
+			in := topo.RandomInstance(rng, topo.DefaultRandomParams(n))
+			for _, s := range All() {
+				res, err := s.Solve(in, Options{Budget: Budget{MaxNodes: 3000}})
+				switch {
+				case errors.Is(err, ErrInfeasible), errors.Is(err, ErrUnsupported):
+					continue
+				case err != nil:
+					t.Fatalf("n=%d trial=%d %s: %v", n, trial, s.Name(), err)
+				}
+				if res == nil || res.BestEffort {
+					continue
+				}
+				if res.Schedule != nil {
+					rep := res.Report
+					if rep == nil {
+						rep = dynflow.Validate(in, res.Schedule)
+					}
+					if !rep.OK() {
+						t.Fatalf("n=%d trial=%d %s: schedule not violation-free: %s", n, trial, s.Name(), rep.Summary())
+					}
+				}
+			}
+		}
+	}
+}

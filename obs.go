@@ -6,6 +6,7 @@ import (
 	"github.com/chronus-sdn/chronus/internal/dynflow"
 	"github.com/chronus-sdn/chronus/internal/emu"
 	"github.com/chronus-sdn/chronus/internal/obs"
+	"github.com/chronus-sdn/chronus/internal/scheme"
 	"github.com/chronus-sdn/chronus/internal/switchd"
 )
 
@@ -33,10 +34,12 @@ func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 func NewTracer(o TracerOptions) *Tracer { return obs.NewTracer(o) }
 
 // RegisterAllMetrics pre-registers every chronus metric family on r —
-// scheduler, validator, controller, switch agents and data plane — so an
-// exposition is complete before the first event is recorded.
+// scheduler, scheme registry, validator, controller, switch agents and
+// data plane — so an exposition is complete before the first event is
+// recorded.
 func RegisterAllMetrics(r *MetricsRegistry) {
 	core.RegisterMetrics(r)
+	scheme.RegisterMetrics(r)
 	dynflow.RegisterMetrics(r)
 	controller.RegisterMetrics(r)
 	switchd.RegisterMetrics(r)
