@@ -1,0 +1,20 @@
+package main
+
+import (
+	_ "embed"
+	"net/http"
+)
+
+// dashHTML is the whole dashboard: one self-contained page, no build
+// step, no external assets — it talks to /health and /spans with fetch
+// and renders with vanilla DOM calls, so it works from a bare binary
+// on an air-gapped testbed.
+//
+//go:embed dash.html
+var dashHTML []byte
+
+func (s *server) handleDash(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Header().Set("Cache-Control", "no-store")
+	_, _ = w.Write(dashHTML)
+}

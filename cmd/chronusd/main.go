@@ -15,6 +15,9 @@
 //	GET  /metrics                    Prometheus text exposition
 //	GET  /trace?since=42             structured event trace as JSONL
 //	GET  /trace?since=42&limit=100   one page of events as JSON, with a next cursor
+//	GET  /spans?since=42&limit=100   causal span forest built from the trace
+//	GET  /health                     live SLO verdict: slack margins vs observed skew
+//	GET  /dash                       self-contained HTML dashboard over /health and /spans
 //	GET  /audit                      consistency-audit report over the recorded trace
 //	GET  /schemes                    registered scheduler names and accepted update methods
 //	POST /advance  {"ticks": 100}    advance virtual time
@@ -32,12 +35,14 @@ import (
 	"expvar"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"time"
 
+	"github.com/chronus-sdn/chronus/internal/buildinfo"
 	"github.com/chronus-sdn/chronus/internal/ofp"
 	"github.com/chronus-sdn/chronus/internal/switchd"
 )
@@ -46,9 +51,24 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "REST listen address")
 	seed := flag.Int64("seed", 1, "seed for control latency and clock ensemble")
 	debugAddr := flag.String("debug-addr", "", "listen address for pprof and expvar (empty disables)")
+	virtual := flag.Bool("virtual", false, "run switch agents in-process over virtual sessions instead of TCP (deterministic)")
+	logLevel := flag.String("log-level", "info", "slog level: debug, info, warn, error")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
-	srv, err := newServer(*seed)
+	if *version {
+		fmt.Println(buildinfo.String("chronusd"))
+		return
+	}
+
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintln(os.Stderr, "chronusd:", err)
+		os.Exit(1)
+	}
+	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
+
+	srv, err := newServer(serverOptions{Seed: *seed, Virtual: *virtual, Wall: true, Log: log})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chronusd:", err)
 		os.Exit(1)
@@ -63,7 +83,7 @@ func main() {
 		fmt.Printf("chronusd: pprof and expvar on http://%s/debug/\n", ln.Addr())
 		go func() { _ = http.Serve(ln, debugHandler()) }()
 	}
-	fmt.Printf("chronusd: %d switch agents on TCP, REST on http://%s\n", srv.agentCount(), *addr)
+	fmt.Printf("chronusd: %d switch agents, REST on http://%s\n", srv.agentCount(), *addr)
 	if err := http.ListenAndServe(*addr, srv.handler()); err != nil {
 		fmt.Fprintln(os.Stderr, "chronusd:", err)
 		os.Exit(1)

@@ -1,0 +1,245 @@
+package main
+
+import (
+	"flag"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	chronus "github.com/chronus-sdn/chronus"
+	"github.com/chronus-sdn/chronus/internal/api"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from current output")
+
+// TestDaemonResponseHeaders pins the caching contract for every GET
+// endpoint: live JSON state must never be cached, the exposition and
+// trace stream carry their own media types, and the dashboard is HTML.
+func TestDaemonResponseHeaders(t *testing.T) {
+	_, ts := newTestServer(t)
+	tests := []struct {
+		path        string
+		contentType string
+	}{
+		{"/status", "application/json"},
+		{"/topology", "application/json"},
+		{"/links", "application/json"},
+		{"/switches/R1/rules", "application/json"},
+		{"/bandwidth?from=R1&to=R2&interval=50&samples=1", "application/json"},
+		{"/packetins", "application/json"},
+		{"/schemes", "application/json"},
+		{"/spans", "application/json"},
+		{"/health", "application/json"},
+		{"/audit", "application/json"},
+		{"/trace?limit=5", "application/json"},
+		{"/trace", "application/x-ndjson"},
+		{"/metrics", "text/plain; version=0.0.4; charset=utf-8"},
+		{"/dash", "text/html; charset=utf-8"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.path, func(t *testing.T) {
+			resp, err := http.Get(ts.URL + tc.path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status = %s", resp.Status)
+			}
+			if got := resp.Header.Get("Content-Type"); got != tc.contentType {
+				t.Errorf("Content-Type = %q, want %q", got, tc.contentType)
+			}
+			if got := resp.Header.Get("Cache-Control"); got != "no-store" {
+				t.Errorf("Cache-Control = %q, want no-store", got)
+			}
+		})
+	}
+}
+
+// TestDaemonEndpointTableComplete cross-checks the api table against the
+// header test above: a GET endpoint added to the table without a row
+// here would silently escape the caching contract.
+func TestDaemonEndpointTableComplete(t *testing.T) {
+	for _, ep := range api.Endpoints {
+		if ep.Method != http.MethodGet {
+			continue
+		}
+		if ep.Doc == "" {
+			t.Errorf("endpoint %s %s has no doc string", ep.Method, ep.Path)
+		}
+	}
+}
+
+// TestDaemonSpansGolden pins the /spans response byte for byte in
+// deterministic mode (virtual sessions, no wall clock): one chronus
+// update on seed 1 must always reconstruct the same span forest.
+func TestDaemonSpansGolden(t *testing.T) {
+	_, ts := newTestServerOpts(t, serverOptions{Seed: 1, Virtual: true, Wall: false})
+	resp, result := postJSON(t, ts.URL+"/update", `{"method": "chronus"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("update: %s (%v)", resp.Status, result)
+	}
+	r, err := http.Get(ts.URL + "/spans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(r.Body)
+	r.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "spans_chronus.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("/spans drifted from golden file (re-run with -update to accept):\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestDaemonSpanTreeConnected drives a timed update through the real TCP
+// agents and checks that the whole pipeline — solve, plan, execution,
+// per-switch delivery and activation — reconstructs as ONE tree under the
+// root update span, with the switch-side spans linked across the process
+// boundary by OFP transaction id.
+func TestDaemonSpanTreeConnected(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, result := postJSON(t, ts.URL+"/update", `{"method": "chronus"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("update: %s (%v)", resp.Status, result)
+	}
+	var got struct {
+		Spans []*chronus.SpanNode `json:"spans"`
+	}
+	getJSON(t, ts.URL+"/spans", &got)
+
+	var root *chronus.SpanNode
+	for _, n := range got.Spans {
+		if n.Op == "update" {
+			if root != nil {
+				t.Fatal("more than one update root span")
+			}
+			root = n
+		}
+	}
+	if root == nil {
+		t.Fatalf("no update root span in forest of %d roots", len(got.Spans))
+	}
+	ops := map[string]int{}
+	switches := map[string]bool{}
+	root.Walk(func(n *chronus.SpanNode) {
+		ops[n.Op]++
+		if sw := n.Attr("switch"); sw != "" && strings.HasPrefix(n.Op, "sw.") {
+			switches[sw] = true
+		}
+		if n.End < n.Start {
+			t.Errorf("span %d (%s) ends before it starts: [%d, %d]", n.ID, n.Op, n.Start, n.End)
+		}
+	})
+	for _, op := range []string{"solve", "plan", "ctl.execute", "ctl.send", "sw.recv", "sw.apply"} {
+		if ops[op] == 0 {
+			t.Errorf("update tree missing %q spans (got %v)", op, ops)
+		}
+	}
+	// A chronus update reprograms the five interior switches; each must
+	// contribute switch-side spans to the same tree.
+	if len(switches) < 5 {
+		t.Errorf("switch-side spans from %d switches under the root, want >= 5: %v", len(switches), switches)
+	}
+	if ops["sw.apply"] < 5 {
+		t.Errorf("sw.apply count = %d, want >= 5", ops["sw.apply"])
+	}
+}
+
+// TestDaemonHealthEndpoint covers the verdict lifecycle: OK while idle, a
+// clean chronus plan stays OK, and a best-effort oneshot plan whose own
+// validation fails flips CRIT at plan time — before the auditor has any
+// events to flag.
+func TestDaemonHealthEndpoint(t *testing.T) {
+	type verdict struct {
+		Level    string   `json:"level"`
+		Reasons  []string `json:"reasons"`
+		Switches []struct {
+			Switch      string `json:"switch"`
+			MarginTicks int64  `json:"margin_ticks"`
+		} `json:"switches"`
+	}
+
+	t.Run("idle-ok", func(t *testing.T) {
+		_, ts := newTestServer(t)
+		var v verdict
+		getJSON(t, ts.URL+"/health", &v)
+		if v.Level != "OK" {
+			t.Fatalf("idle verdict = %+v", v)
+		}
+	})
+
+	t.Run("chronus-ok", func(t *testing.T) {
+		_, ts := newTestServer(t)
+		resp, result := postJSON(t, ts.URL+"/update", `{"method": "chronus"}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("update: %s (%v)", resp.Status, result)
+		}
+		var v verdict
+		getJSON(t, ts.URL+"/health", &v)
+		if v.Level == "CRIT" {
+			t.Fatalf("clean chronus update went CRIT: %+v", v)
+		}
+		if len(v.Switches) == 0 {
+			t.Fatalf("no per-switch margins after a timed update: %+v", v)
+		}
+	})
+
+	t.Run("oneshot-crit", func(t *testing.T) {
+		_, ts := newTestServer(t)
+		resp, result := postJSON(t, ts.URL+"/update", `{"method": "oneshot"}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("update: %s (%v)", resp.Status, result)
+		}
+		var v verdict
+		getJSON(t, ts.URL+"/health", &v)
+		if v.Level != "CRIT" {
+			t.Fatalf("oneshot update verdict = %+v, want CRIT", v)
+		}
+		found := false
+		for _, r := range v.Reasons {
+			if strings.Contains(r, "plan") {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("CRIT reasons do not mention the invalid plan: %v", v.Reasons)
+		}
+	})
+}
+
+// TestDaemonDashEndpoint checks the embedded dashboard ships and wires
+// itself to the live endpoints.
+func TestDaemonDashEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/dash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := string(body)
+	for _, want := range []string{"<!DOCTYPE html>", "fetch(\"/health\")", "fetch(\"/spans\")", "chronusd"} {
+		if !strings.Contains(page, want) {
+			t.Fatalf("dashboard missing %q", want)
+		}
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"strconv"
@@ -12,12 +14,34 @@ import (
 	"time"
 
 	chronus "github.com/chronus-sdn/chronus"
+	"github.com/chronus-sdn/chronus/internal/api"
 	"github.com/chronus-sdn/chronus/internal/audit"
+	"github.com/chronus-sdn/chronus/internal/buildinfo"
+	"github.com/chronus-sdn/chronus/internal/health"
+	"github.com/chronus-sdn/chronus/internal/obs"
 	"github.com/chronus-sdn/chronus/internal/ofp"
 )
 
+// serverOptions configures a daemon instance.
+type serverOptions struct {
+	// Seed drives the control-latency model and the clock ensemble.
+	Seed int64
+	// Virtual runs the switch agents in-process on seeded virtual
+	// sessions instead of TCP sockets. Combined with Wall=false the
+	// whole daemon — trace stream and span forest included — is
+	// byte-deterministic for a fixed seed, which is what the golden
+	// tests and -deterministic runs use.
+	Virtual bool
+	// Wall stamps trace events with wall-clock time (the default for a
+	// live daemon; off in deterministic mode).
+	Wall bool
+	// Log receives structured request and update logs; nil discards.
+	Log *slog.Logger
+}
+
 // server holds the daemon's state: the emulated network, its switch agents
-// (reachable over TCP), the controller, and the flow being managed.
+// (reachable over TCP, or in-process in virtual mode), the controller, and
+// the flow being managed.
 type server struct {
 	in     *chronus.Instance
 	tb     *chronus.Testbed
@@ -27,7 +51,10 @@ type server struct {
 	reg    *chronus.MetricsRegistry
 	tracer *chronus.Tracer
 	meter  *ofp.ConnMeter
+	health *health.Engine
+	log    *slog.Logger
 
+	virtual bool
 	mu      sync.Mutex
 	updated bool
 
@@ -35,31 +62,45 @@ type server struct {
 	conns     []*ofp.Conn
 }
 
-func newServer(seed int64) (*server, error) {
+func newServer(o serverOptions) (*server, error) {
+	if o.Log == nil {
+		o.Log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	in := chronus.EmulationTopo()
 	tb := chronus.NewTestbed(in.G)
 	reg := chronus.NewMetricsRegistry()
 	// Pre-register every family so /metrics is complete from boot, before
 	// the first update or validation touches an instrument.
 	chronus.RegisterAllMetrics(reg)
+	buildinfo.Register(reg)
+	obs.RegisterRuntimeMetrics(reg)
 	reg.Help("chronus_trace_dropped_events_total", "Trace events evicted from the tracer ring buffer.")
+	var wall func() int64
+	if o.Wall {
+		wall = func() int64 { return time.Now().UnixNano() }
+	}
 	tracer := chronus.NewTracer(chronus.TracerOptions{
-		Wall:  func() int64 { return time.Now().UnixNano() },
+		Wall:  wall,
 		Drops: reg.Counter("chronus_trace_dropped_events_total"),
 	})
 	in.Obs = reg
 	srv := &server{
-		in:     in,
-		tb:     tb,
-		ctl:    chronus.NewController(tb, chronus.ControllerOptions{Seed: seed, Obs: reg, Trace: tracer}),
-		clock:  chronus.NewClockEnsemble(chronus.DefaultClockParams(seed), in.G.Nodes()),
-		flow:   chronus.FlowSpec{Name: "agg", Tag: 0, Path: in.Init, Rate: chronus.Rate(in.Demand)},
-		reg:    reg,
-		tracer: tracer,
-		meter:  ofp.NewConnMeter(reg),
+		in:      in,
+		tb:      tb,
+		ctl:     chronus.NewController(tb, chronus.ControllerOptions{Seed: o.Seed, Obs: reg, Trace: tracer}),
+		clock:   chronus.NewClockEnsemble(chronus.DefaultClockParams(o.Seed), in.G.Nodes()),
+		flow:    chronus.FlowSpec{Name: "agg", Tag: 0, Path: in.Init, Rate: chronus.Rate(in.Demand)},
+		reg:     reg,
+		tracer:  tracer,
+		meter:   ofp.NewConnMeter(reg),
+		health:  health.New(reg),
+		log:     o.Log,
+		virtual: o.Virtual,
 	}
 	tb.Net.SetObs(reg, tracer)
-	if err := bootAgents(srv); err != nil {
+	if o.Virtual {
+		srv.ctl.AttachAll(srv.clock)
+	} else if err := bootAgents(srv); err != nil {
 		srv.Close()
 		return nil, err
 	}
@@ -71,7 +112,12 @@ func newServer(seed int64) (*server, error) {
 	return srv, nil
 }
 
-func (s *server) agentCount() int { return len(s.conns) }
+func (s *server) agentCount() int {
+	if s.virtual {
+		return s.in.G.NumNodes()
+	}
+	return len(s.conns)
+}
 
 // Close shuts the TCP plumbing down.
 func (s *server) Close() {
@@ -83,21 +129,115 @@ func (s *server) Close() {
 	}
 }
 
+// handler builds the mux from the api package's endpoint table — the
+// same table docs_test.go holds the README to — and panics at boot
+// when the table and the wired handlers disagree in either direction.
 func (s *server) handler() http.Handler {
+	handlers := map[string]http.HandlerFunc{
+		"GET /status":                s.handleStatus,
+		"GET /topology":              s.handleTopology,
+		"GET /links":                 s.handleLinks,
+		"GET /switches/{name}/rules": s.handleRules,
+		"GET /bandwidth":             s.handleBandwidth,
+		"GET /packetins":             s.handlePacketIns,
+		"GET /metrics":               s.handleMetrics,
+		"GET /trace":                 s.handleTrace,
+		"GET /spans":                 s.handleSpans,
+		"GET /health":                s.handleHealth,
+		"GET /audit":                 s.handleAudit,
+		"GET /schemes":               s.handleSchemes,
+		"GET /dash":                  s.handleDash,
+		"POST /advance":              s.handleAdvance,
+		"POST /update":               s.handleUpdate,
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /status", s.handleStatus)
-	mux.HandleFunc("GET /topology", s.handleTopology)
-	mux.HandleFunc("GET /links", s.handleLinks)
-	mux.HandleFunc("GET /switches/{name}/rules", s.handleRules)
-	mux.HandleFunc("GET /bandwidth", s.handleBandwidth)
-	mux.HandleFunc("POST /advance", s.handleAdvance)
-	mux.HandleFunc("GET /packetins", s.handlePacketIns)
-	mux.HandleFunc("POST /update", s.handleUpdate)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /trace", s.handleTrace)
-	mux.HandleFunc("GET /audit", s.handleAudit)
-	mux.HandleFunc("GET /schemes", s.handleSchemes)
-	return mux
+	for _, ep := range api.Endpoints {
+		pat := ep.Method + " " + ep.Path
+		h, ok := handlers[pat]
+		if !ok {
+			panic("chronusd: endpoint table lists " + pat + " but no handler is wired")
+		}
+		mux.HandleFunc(pat, h)
+		delete(handlers, pat)
+	}
+	for pat := range handlers {
+		panic("chronusd: handler " + pat + " is missing from the api endpoint table")
+	}
+	return s.logged(mux)
+}
+
+// logged wraps the mux with slog request logging.
+func (s *server) logged(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		s.log.Info("http",
+			"method", r.Method, "path", r.URL.Path,
+			"status", rec.status, "dur", time.Since(start).Round(time.Microsecond))
+	})
+}
+
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// handleSpans returns the causal span forest reconstructed from the
+// trace ring. ?since= and ?limit= page through the underlying events
+// exactly like /trace (limit bounds events read, not spans returned);
+// the next cursor resumes where this page stopped. In deterministic
+// (virtual, no-wall) mode the response bytes are fixed per seed.
+func (s *server) handleSpans(w http.ResponseWriter, r *http.Request) {
+	since, limit, err := parsePaging(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var events []chronus.TraceEvent
+	next := since
+	if limit > 0 {
+		events, next = s.tracer.Page(since, limit)
+	} else {
+		events = s.tracer.Events(since)
+		if len(events) > 0 {
+			next = events[len(events)-1].Seq
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"spans":   chronus.BuildSpanForest(events),
+		"next":    next,
+		"dropped": s.tracer.Dropped(),
+	})
+}
+
+// handleHealth folds any trace events recorded since the last look
+// into the health engine and returns the verdict.
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.health.Observe(s.tracer.Events(s.health.Cursor()))
+	writeJSON(w, http.StatusOK, s.health.Verdict())
+}
+
+// parsePaging reads the shared ?since= / ?limit= query parameters.
+func parsePaging(r *http.Request) (since uint64, limit int, err error) {
+	if q := r.URL.Query().Get("since"); q != "" {
+		since, err = strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad since: %w", err)
+		}
+	}
+	if q := r.URL.Query().Get("limit"); q != "" {
+		limit, err = strconv.Atoi(q)
+		if err != nil || limit <= 0 {
+			return 0, 0, errors.New("bad limit: want a positive integer")
+		}
+	}
+	return since, limit, nil
 }
 
 // handleSchemes lists the registered scheduler names plus the methods
@@ -123,7 +263,12 @@ func (s *server) handleAudit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// Refresh the health gauges so a scrape that never touches /health
+	// still sees current slack margins and burn state.
+	s.health.Observe(s.tracer.Events(s.health.Cursor()))
+	s.health.Verdict()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Header().Set("Cache-Control", "no-store")
 	_ = s.reg.WritePrometheus(w)
 }
 
@@ -133,21 +278,12 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // holding at most N events, the cursor to pass as since on the next
 // page, and the tracer's eviction count.
 func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
-	var since uint64
-	if q := r.URL.Query().Get("since"); q != "" {
-		v, err := strconv.ParseUint(q, 10, 64)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad since: %w", err))
-			return
-		}
-		since = v
+	since, limit, err := parsePaging(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
 	}
-	if q := r.URL.Query().Get("limit"); q != "" {
-		limit, err := strconv.Atoi(q)
-		if err != nil || limit <= 0 {
-			writeErr(w, http.StatusBadRequest, errors.New("bad limit: want a positive integer"))
-			return
-		}
+	if limit > 0 {
 		events, next := s.tracer.Page(since, limit)
 		writeJSON(w, http.StatusOK, map[string]any{
 			"events":  events,
@@ -157,12 +293,16 @@ func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
 	w.Header().Set("X-Chronus-Trace-Dropped", strconv.FormatUint(s.tracer.Dropped(), 10))
 	_ = s.tracer.WriteJSONL(w, since)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	// Every JSON endpoint reports live state; a cached response is
+	// always wrong.
+	w.Header().Set("Cache-Control", "no-store")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -332,20 +472,46 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// executeUpdate plans the migration with the named registry scheme (the
-// solve is recorded under the scheme-labelled metrics counter) and executes
-// whatever shape it produced: timed schedules run time-triggered, round
-// sequences run barrier-paced, and decision-only results have nothing to
-// execute. "tp" is the one non-scheme method — two-phase commit plans
-// nothing, so it goes straight to the execution engine.
+// executeUpdate wraps the whole update — solve, plan, execution — in
+// one root span and logs the outcome; see executePlanned for the
+// actual dispatch.
 func (s *server) executeUpdate(method string) error {
 	if method == "" {
 		method = "chronus"
 	}
+	root := s.tracer.StartSpan(int64(s.tb.Now()), "update", 0, obs.A("method", method))
+	s.ctl.SetSpan(root.SpanID())
+	err := s.executePlanned(method, root.SpanID())
+	s.ctl.SetSpan(0)
+	outcome := "ok"
+	if err != nil {
+		outcome = "error"
+	}
+	root.End(int64(s.tb.Now()), obs.A("outcome", outcome))
+	if err != nil {
+		s.log.Error("update failed", "method", method, "span", uint64(root.SpanID()), "err", err)
+	} else {
+		s.log.Info("update executed", "method", method, "span", uint64(root.SpanID()), "vt", int64(s.tb.Now()))
+	}
+	return err
+}
+
+// executePlanned plans the migration with the named registry scheme (the
+// solve is recorded under the scheme-labelled metrics counter, and as a
+// solve span under root) and executes whatever shape it produced: timed
+// schedules run time-triggered, round sequences run barrier-paced, and
+// decision-only results have nothing to execute. "tp" is the one
+// non-scheme method — two-phase commit plans nothing, so it goes
+// straight to the execution engine. Each branch arms the health engine
+// with the plan it is about to execute.
+func (s *server) executePlanned(method string, root chronus.SpanID) error {
 	if method == "tp" {
+		s.health.SetPlan(health.Plan{Kind: "twophase", Valid: true})
 		return s.ctl.ExecuteTwoPhase(s.in, s.flow, 1)
 	}
-	res, err := chronus.SolveWith(method, s.in, chronus.SchemeOptions{Obs: s.reg, Trace: s.tracer})
+	res, err := chronus.SolveWith(method, s.in, chronus.SchemeOptions{
+		Obs: s.reg, Trace: s.tracer, VT: int64(s.tb.Now()), Span: root,
+	})
 	if errors.Is(err, chronus.ErrUnknownScheme) {
 		return fmt.Errorf("unknown method %q (want tp or a scheme: %s)", method, strings.Join(chronus.Schemes(), ", "))
 	}
@@ -354,19 +520,44 @@ func (s *server) executeUpdate(method string) error {
 	}
 	switch {
 	case res.Schedule != nil:
+		// The slack promise is computed on the solver's own schedule
+		// (shifting every activation by the same start offset changes
+		// no relative timing, hence no slack).
+		report := res.Report
+		if report == nil {
+			report = chronus.Validate(s.in, res.Schedule)
+		}
+		plan := health.Plan{Kind: "timed", Valid: report.OK()}
+		for _, sl := range chronus.ScheduleSlack(s.in, res.Schedule) {
+			plan.Switches = append(plan.Switches, health.PlanSwitch{
+				Switch:     s.in.G.Name(sl.V),
+				SlackTicks: int64(sl.Slack),
+				Critical:   sl.Critical,
+			})
+		}
+		s.health.SetPlan(plan)
+		now := int64(s.tb.Now())
 		start := chronus.Tick(s.tb.Now()) + 50 // headroom past the control latency
 		sched := chronus.NewSchedule(start)
 		for v, tv := range res.Schedule.Times {
 			sched.Set(v, start+(tv-res.Schedule.Start))
 		}
+		s.tracer.EmitSpan("plan", root, now, now,
+			obs.A("kind", "timed"), obs.A("switches", len(sched.Times)),
+			obs.A("start", int64(start)), obs.A("valid", report.OK()))
 		return s.ctl.ExecuteTimed(s.in, sched, s.flow)
 	case len(res.Rounds) > 0 && res.Feasible == nil:
+		s.health.SetPlan(health.Plan{Kind: "rounds", Valid: true})
 		sched := chronus.NewSchedule(0)
 		for i, round := range res.Rounds {
 			for _, v := range round {
 				sched.Set(v, chronus.Tick(i))
 			}
 		}
+		now := int64(s.tb.Now())
+		s.tracer.EmitSpan("plan", root, now, now,
+			obs.A("kind", "rounds"), obs.A("switches", len(sched.Times)),
+			obs.A("rounds", len(res.Rounds)))
 		return s.ctl.ExecuteBarrierPaced(s.in, sched, s.flow, 1)
 	default:
 		return fmt.Errorf("scheme %q decides feasibility but produces no executable schedule", method)

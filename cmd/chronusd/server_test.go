@@ -15,7 +15,12 @@ import (
 
 func newTestServer(t *testing.T) (*server, *httptest.Server) {
 	t.Helper()
-	srv, err := newServer(1)
+	return newTestServerOpts(t, serverOptions{Seed: 1, Wall: true})
+}
+
+func newTestServerOpts(t *testing.T, o serverOptions) (*server, *httptest.Server) {
+	t.Helper()
+	srv, err := newServer(o)
 	if err != nil {
 		t.Fatal(err)
 	}

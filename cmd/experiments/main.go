@@ -31,6 +31,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/chronus-sdn/chronus/internal/buildinfo"
 	"github.com/chronus-sdn/chronus/internal/expt"
 	"github.com/chronus-sdn/chronus/internal/metrics"
 )
@@ -51,11 +52,21 @@ func run(args []string, w io.Writer) error {
 	procs := fs.Int("procs", runtime.GOMAXPROCS(0), "parallel experiment workers; 1 reproduces the serial path byte for byte")
 	benchJSON := fs.String("bench-json", "", "write a machine-readable run summary (per-experiment wall time, per-table rows, audit tallies) to this file")
 	benchTables := fs.String("bench-tables", "", "print the table shapes of an existing -bench-json snapshot (sorted, wall-clock-free) and exit; CI diffs two snapshots this way")
+	benchTrend := fs.String("bench-trend", "", "compare two -bench-json snapshots as old.json,new.json and fail on wall-clock regressions past -trend-threshold")
+	trendThreshold := fs.Float64("trend-threshold", 20, "percent slowdown per experiment that -bench-trend treats as a regression")
+	version := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *version {
+		fmt.Fprintln(w, buildinfo.String("experiments"))
+		return nil
+	}
 	if *benchTables != "" {
 		return printBenchTables(w, *benchTables)
+	}
+	if *benchTrend != "" {
+		return benchTrendCompare(w, *benchTrend, *trendThreshold)
 	}
 	cfg := expt.Default(*seed)
 	if *quick {

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// benchTrendCompare diffs the per-experiment wall-clock times of two
+// -bench-json snapshots ("old.json,new.json") and returns an error when
+// any experiment present in both slowed down by more than threshold
+// percent. Experiments that appear in only one snapshot are reported but
+// never fail the comparison — a renamed or newly added experiment is not
+// a regression. Timings below a tenth of a second are skipped: at that
+// scale scheduler noise dwarfs any real trend.
+func benchTrendCompare(w io.Writer, spec string, threshold float64) error {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 2 {
+		return fmt.Errorf("-bench-trend wants old.json,new.json, got %q", spec)
+	}
+	oldB, err := readBench(parts[0])
+	if err != nil {
+		return err
+	}
+	newB, err := readBench(parts[1])
+	if err != nil {
+		return err
+	}
+	if oldB.Quick != newB.Quick {
+		return fmt.Errorf("snapshots ran at different scales (old quick=%v, new quick=%v); trends only compare like with like", oldB.Quick, newB.Quick)
+	}
+
+	names := make([]string, 0, len(oldB.Experiments))
+	for name := range oldB.Experiments {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	const minSeconds = 0.1
+	var regressions []string
+	fmt.Fprintf(w, "bench trend (%s -> %s, threshold %+.0f%%):\n", parts[0], parts[1], threshold)
+	for _, name := range names {
+		oldS := oldB.Experiments[name]
+		newS, ok := newB.Experiments[name]
+		if !ok {
+			fmt.Fprintf(w, "  %-12s %8.3fs -> (gone)\n", name, oldS)
+			continue
+		}
+		if oldS < minSeconds || newS < minSeconds {
+			fmt.Fprintf(w, "  %-12s %8.3fs -> %8.3fs (below noise floor, skipped)\n", name, oldS, newS)
+			continue
+		}
+		delta := (newS - oldS) / oldS * 100
+		mark := ""
+		if delta > threshold {
+			mark = "  REGRESSION"
+			regressions = append(regressions, fmt.Sprintf("%s %+.1f%%", name, delta))
+		}
+		fmt.Fprintf(w, "  %-12s %8.3fs -> %8.3fs (%+.1f%%)%s\n", name, oldS, newS, delta, mark)
+	}
+	for name, newS := range newB.Experiments {
+		if _, ok := oldB.Experiments[name]; !ok {
+			fmt.Fprintf(w, "  %-12s (new) -> %8.3fs\n", name, newS)
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("wall-clock regression past %.0f%%: %s", threshold, strings.Join(regressions, ", "))
+	}
+	fmt.Fprintln(w, "no regressions")
+	return nil
+}
+
+func readBench(path string) (*benchSummary, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b benchSummary
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return &b, nil
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBenchFile(t *testing.T, name string, quick bool, exps map[string]float64) string {
+	t.Helper()
+	b := benchSummary{Quick: quick, Experiments: exps}
+	path := filepath.Join(t.TempDir(), name)
+	data, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestBenchTrendPassAndFail(t *testing.T) {
+	oldPath := writeBenchFile(t, "old.json", true, map[string]float64{
+		"fig7+fig8": 1.0, "fig9": 0.5, "tab2": 0.01,
+	})
+
+	t.Run("within-threshold", func(t *testing.T) {
+		newPath := writeBenchFile(t, "new.json", true, map[string]float64{
+			"fig7+fig8": 1.15, "fig9": 0.4, "tab2": 0.09,
+		})
+		var buf bytes.Buffer
+		if err := benchTrendCompare(&buf, oldPath+","+newPath, 20); err != nil {
+			t.Fatalf("trend failed within threshold: %v\n%s", err, buf.String())
+		}
+		if !strings.Contains(buf.String(), "no regressions") {
+			t.Fatalf("output missing verdict:\n%s", buf.String())
+		}
+	})
+
+	t.Run("regression", func(t *testing.T) {
+		newPath := writeBenchFile(t, "new.json", true, map[string]float64{
+			"fig7+fig8": 1.5, "fig9": 0.5,
+		})
+		var buf bytes.Buffer
+		err := benchTrendCompare(&buf, oldPath+","+newPath, 20)
+		if err == nil || !strings.Contains(err.Error(), "fig7+fig8") {
+			t.Fatalf("regression not flagged: err=%v\n%s", err, buf.String())
+		}
+		if !strings.Contains(buf.String(), "REGRESSION") {
+			t.Fatalf("output missing REGRESSION marker:\n%s", buf.String())
+		}
+	})
+
+	t.Run("noise-floor", func(t *testing.T) {
+		// tab2 doubles but sits under 0.1 s — skipped, never a regression.
+		newPath := writeBenchFile(t, "new.json", true, map[string]float64{
+			"fig7+fig8": 1.0, "fig9": 0.5, "tab2": 0.02,
+		})
+		var buf bytes.Buffer
+		if err := benchTrendCompare(&buf, oldPath+","+newPath, 20); err != nil {
+			t.Fatalf("noise-floor timing flagged: %v", err)
+		}
+		if !strings.Contains(buf.String(), "below noise floor") {
+			t.Fatalf("output missing noise-floor note:\n%s", buf.String())
+		}
+	})
+
+	t.Run("scale-mismatch", func(t *testing.T) {
+		newPath := writeBenchFile(t, "new.json", false, map[string]float64{"fig9": 0.5})
+		var buf bytes.Buffer
+		if err := benchTrendCompare(&buf, oldPath+","+newPath, 20); err == nil {
+			t.Fatal("quick-vs-full comparison accepted")
+		}
+	})
+
+	t.Run("bad-spec", func(t *testing.T) {
+		var buf bytes.Buffer
+		if err := benchTrendCompare(&buf, "only-one.json", 20); err == nil {
+			t.Fatal("single-file spec accepted")
+		}
+	})
+}
+
+func TestVersionFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-version"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "experiments ") {
+		t.Fatalf("version output = %q", buf.String())
+	}
+}

@@ -31,13 +31,20 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"os"
 	"sort"
 	"strings"
 
 	chronus "github.com/chronus-sdn/chronus"
+	"github.com/chronus-sdn/chronus/internal/buildinfo"
 )
+
+// logger carries structured diagnostics to stderr (never stdout, which
+// belongs to the rendered results and is golden-tested). run() swaps it
+// for a real handler when -log-level asks for one.
+var logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 
 type instanceFile struct {
 	Graph   *chronus.Network `json:"graph"`
@@ -70,8 +77,22 @@ func run(args []string, out io.Writer) error {
 	auditRun := fs.Bool("audit", false, "execute the schedule on the emulated testbed and audit the trace for consistency violations")
 	auditJSON := fs.String("audit-json", "", "with -audit (or -audit-from): also write the audit report as JSON to this file")
 	auditFrom := fs.String("audit-from", "", "audit a previously captured JSONL trace file offline and exit")
+	logLevel := fs.String("log-level", "", "enable structured diagnostics on stderr at this slog level (debug, info, warn, error)")
+	version := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *version {
+		fmt.Fprintln(out, buildinfo.String("mutp"))
+		return nil
+	}
+	if *logLevel != "" {
+		var lvl slog.Level
+		if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+			return err
+		}
+		logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
 	}
 
 	if *listSchemes {

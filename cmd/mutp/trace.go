@@ -45,12 +45,23 @@ func executeOnTestbed(in *chronus.Instance, s *chronus.Schedule, seed int64) (*c
 	for _, v := range sortedSwitches(shifted) {
 		tracer.Point(int64(shifted.Times[v]), "sched", obs.A("switch", in.G.Name(v)))
 	}
-	if err := ctl.ExecuteTimed(in, shifted, flow); err != nil {
+	// The whole replay hangs off one root span, same as a chronusd
+	// POST /update, so the recorded trace reconstructs into a single
+	// connected tree.
+	root := tracer.StartSpan(int64(tb.Now()), "update", 0, obs.A("method", "replay"))
+	logger.Info("executing schedule on testbed",
+		"span", uint64(root.SpanID()), "switches", len(s.Times), "seed", seed, "start", int64(start))
+	ctl.SetSpan(root.SpanID())
+	err := ctl.ExecuteTimed(in, shifted, flow)
+	ctl.SetSpan(0)
+	if err != nil {
+		root.End(int64(tb.Now()), obs.A("outcome", "error"))
 		return nil, err
 	}
 	// Run past the last activation plus a full drain of both paths.
 	drain := chronus.SimTime(in.Init.Delay(in.G)+in.Fin.Delay(in.G)) + 10
 	tb.AdvanceTo(chronus.SimTime(shifted.End()) + drain)
+	root.End(int64(tb.Now()), obs.A("outcome", "ok"))
 	return tracer, nil
 }
 
@@ -91,10 +102,15 @@ func sortedSwitches(s *chronus.Schedule) []chronus.NodeID {
 
 // renderTimeline prints one lane per switch with its events in virtual-
 // time order; events without a switch attribute (barrier spans, data-
-// plane incidents) land in the controller lane.
+// plane incidents) land in the controller lane. Span-carrier events are
+// skipped — they duplicate the point events as structure, and the span
+// view belongs to BuildSpanForest consumers (chronusd /spans, /dash).
 func renderTimeline(out io.Writer, events []chronus.TraceEvent) {
 	lanes := make(map[string][]chronus.TraceEvent)
 	for _, e := range events {
+		if e.Name == chronus.SpanEventName {
+			continue
+		}
 		lane := "controller"
 		for _, a := range e.Attrs {
 			if a.K == "switch" {

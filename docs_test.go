@@ -5,6 +5,8 @@ import (
 	"os"
 	"strings"
 	"testing"
+
+	"github.com/chronus-sdn/chronus/internal/api"
 )
 
 // TestDocsMentionEveryScheme keeps the prose in lockstep with the scheme
@@ -12,6 +14,25 @@ import (
 // English word like "or" cannot satisfy the check by accident) in both
 // README.md and EXPERIMENTS.md. Registering a scheme without documenting
 // it fails here.
+// TestDocsListEveryDaemonEndpoint keeps the README's REST table in
+// lockstep with the daemon's endpoint registry (internal/api, the same
+// table chronusd builds its mux from): every registered endpoint must
+// appear backticked as `METHOD /path`. Wiring a new endpoint without
+// documenting it fails here.
+func TestDocsListEveryDaemonEndpoint(t *testing.T) {
+	data, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	for _, ep := range api.Endpoints {
+		want := fmt.Sprintf("`%s %s`", ep.Method, ep.Path)
+		if !strings.Contains(text, want) {
+			t.Errorf("README.md does not document endpoint %s", want)
+		}
+	}
+}
+
 func TestDocsMentionEveryScheme(t *testing.T) {
 	for _, doc := range []string{"README.md", "EXPERIMENTS.md"} {
 		data, err := os.ReadFile(doc)

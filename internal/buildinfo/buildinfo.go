@@ -1,0 +1,38 @@
+// Package buildinfo derives version identity from the Go build info
+// embedded in the binary, for the -version flags and the
+// chronus_build_info metric shared by chronusd, mutp and experiments.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+
+	"github.com/chronus-sdn/chronus/internal/obs"
+)
+
+// Version returns the module version baked into the binary —
+// "(devel)" for plain `go build` trees, a pseudo-version or tag for
+// released builds — falling back to "unknown" when the binary carries
+// no build info at all (e.g. some test binaries).
+func Version() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		return bi.Main.Version
+	}
+	return "unknown"
+}
+
+// GoVersion returns the toolchain that built the binary.
+func GoVersion() string { return runtime.Version() }
+
+// String renders the one-line -version output for the named binary.
+func String(binary string) string {
+	return fmt.Sprintf("%s %s (%s)", binary, Version(), GoVersion())
+}
+
+// Register exposes the standard build-info gauge: a constant 1 whose
+// labels carry the identity, the Prometheus idiom for build metadata.
+func Register(r *obs.Registry) {
+	r.Help("chronus_build_info", "Build identity; the value is always 1, the labels carry version and toolchain.")
+	r.Gauge(fmt.Sprintf("chronus_build_info{version=%q,go_version=%q}", Version(), GoVersion())).Set(1)
+}

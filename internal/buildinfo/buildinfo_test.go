@@ -1,0 +1,37 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/chronus-sdn/chronus/internal/obs"
+)
+
+func TestVersionStrings(t *testing.T) {
+	if Version() == "" {
+		t.Error("empty Version")
+	}
+	if !strings.HasPrefix(GoVersion(), "go") {
+		t.Errorf("GoVersion = %q", GoVersion())
+	}
+	s := String("chronusd")
+	if !strings.HasPrefix(s, "chronusd ") || !strings.Contains(s, GoVersion()) {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestRegister(t *testing.T) {
+	r := obs.NewRegistry()
+	Register(r)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "# TYPE chronus_build_info gauge\n") {
+		t.Errorf("missing TYPE line:\n%s", out)
+	}
+	if !strings.Contains(out, `chronus_build_info{version=`) || !strings.Contains(out, `go_version="`+GoVersion()+`"} 1`) {
+		t.Errorf("missing build info sample:\n%s", out)
+	}
+}

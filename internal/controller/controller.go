@@ -155,6 +155,12 @@ type Controller struct {
 	packetIns []*ofp.PacketIn
 	nextXID   uint32
 	notify    chan struct{}
+	// spanBase and spanStack track the ambient parent span for control
+	// operations: spanBase is set by the embedding server around an
+	// update (SetSpan), spanStack by Execute*/Barrier around their own
+	// nested spans. curSpan reads the innermost.
+	spanBase  obs.SpanID
+	spanStack []obs.SpanID
 }
 
 // New builds a controller on the harness.
@@ -359,6 +365,42 @@ func (c *Controller) xid() uint32 {
 	return c.nextXID
 }
 
+// SetSpan sets the ambient parent span under which subsequent control
+// operations (Execute*, Barrier, individual sends) record their spans;
+// zero clears it. Callers that own an update-level root span bracket
+// execution with SetSpan(root)/SetSpan(0) so the whole control
+// exchange hangs off that root.
+func (c *Controller) SetSpan(id obs.SpanID) {
+	c.mu.Lock()
+	c.spanBase = id
+	c.mu.Unlock()
+}
+
+func (c *Controller) pushSpan(id obs.SpanID) {
+	c.mu.Lock()
+	c.spanStack = append(c.spanStack, id)
+	c.mu.Unlock()
+}
+
+func (c *Controller) popSpan() {
+	c.mu.Lock()
+	if n := len(c.spanStack); n > 0 {
+		c.spanStack = c.spanStack[:n-1]
+	}
+	c.mu.Unlock()
+}
+
+func (c *Controller) curSpan() obs.SpanID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := len(c.spanStack) - 1; i >= 0; i-- {
+		if c.spanStack[i] != 0 {
+			return c.spanStack[i]
+		}
+	}
+	return c.spanBase
+}
+
 // ErrNoSession is returned when addressing an unattached switch.
 var ErrNoSession = errors.New("controller: no session for switch")
 
@@ -405,6 +447,19 @@ func (c *Controller) send(id graph.NodeID, m ofp.Msg) (uint32, error) {
 			c.opts.Trace.Point(int64(c.h.Now()), "ctl.flowmod",
 				obs.A("switch", c.h.G.Name(id)), obs.A("at", v.ExecuteAt),
 				obs.A("key", fmt.Sprintf("%s/%d", v.Flow, v.Tag)), obs.A("next", next))
+			// The send span's xid is what stitches the switch-side half
+			// of this round-trip (sw.recv/sw.apply) into the tree.
+			now := int64(c.h.Now())
+			c.opts.Trace.EmitSpan("ctl.send", c.curSpan(), now, now,
+				obs.A("switch", c.h.G.Name(id)), obs.A("xid", x),
+				obs.A("kind", "flowmod"), obs.A("at", v.ExecuteAt))
+		}
+	case *ofp.BarrierRequest:
+		if c.opts.Trace != nil {
+			now := int64(c.h.Now())
+			c.opts.Trace.EmitSpan("ctl.send", c.curSpan(), now, now,
+				obs.A("switch", c.h.G.Name(id)), obs.A("xid", x),
+				obs.A("kind", "barrier"))
 		}
 	case *ofp.StatsRequest:
 		c.met.statsPolls.Inc()
@@ -491,24 +546,28 @@ func checkErrors(replies map[uint32]ofp.Msg) error {
 func (c *Controller) Barrier(ids ...graph.NodeID) error {
 	start := c.h.Now()
 	c.met.barriers.Inc()
+	sp := c.opts.Trace.StartSpan(int64(start), "ctl.barrier", c.curSpan(),
+		obs.A("switches", len(ids)))
+	c.pushSpan(sp.SpanID())
 	xids := make([]uint32, 0, len(ids))
 	for _, id := range ids {
 		x, err := c.send(id, &ofp.BarrierRequest{})
 		if err != nil {
+			c.popSpan()
+			sp.End(int64(c.h.Now()), obs.A("outcome", "error"))
 			return err
 		}
 		xids = append(xids, x)
 	}
+	c.popSpan()
 	replies, err := c.await(xids)
 	if err != nil {
+		sp.End(int64(c.h.Now()), obs.A("outcome", "error"))
 		return err
 	}
 	end := c.h.Now()
 	c.met.barrierRTT.Observe(float64(end - start))
-	if c.opts.Trace != nil {
-		c.opts.Trace.Span("ctl.barrier", int64(start), int64(end),
-			obs.A("switches", len(ids)))
-	}
+	sp.End(int64(end))
 	if errs := c.takeAsyncErrors(); len(errs) > 0 {
 		return fmt.Errorf("controller: switch error %d preceding barrier: %s", errs[0].Code, errs[0].Message)
 	}

@@ -7,9 +7,27 @@ import (
 	"github.com/chronus-sdn/chronus/internal/dynflow"
 	"github.com/chronus-sdn/chronus/internal/emu"
 	"github.com/chronus-sdn/chronus/internal/graph"
+	"github.com/chronus-sdn/chronus/internal/obs"
 	"github.com/chronus-sdn/chronus/internal/ofp"
 	"github.com/chronus-sdn/chronus/internal/sim"
 )
+
+// beginExecute opens a ctl.execute span for one execution strategy and
+// pushes it as the ambient parent; the returned func pops and ends it,
+// stamping the outcome from *err (use with a named return and defer).
+func (c *Controller) beginExecute(mode string, switches int, err *error) func() {
+	sp := c.opts.Trace.StartSpan(int64(c.h.Now()), "ctl.execute", c.curSpan(),
+		obs.A("mode", mode), obs.A("switches", switches))
+	c.pushSpan(sp.SpanID())
+	return func() {
+		c.popSpan()
+		outcome := "ok"
+		if *err != nil {
+			outcome = "error"
+		}
+		sp.End(int64(c.h.Now()), obs.A("outcome", outcome))
+	}
+}
 
 // FlowSpec describes one traffic aggregate to provision.
 type FlowSpec struct {
@@ -68,7 +86,8 @@ func (c *Controller) StopFlow(f FlowSpec) {
 // The schedule's ticks are interpreted as absolute virtual times; they must
 // lie in the future when the FlowMods arrive, i.e. leave at least the
 // control latency of headroom.
-func (c *Controller) ExecuteTimed(in *dynflow.Instance, s *dynflow.Schedule, f FlowSpec) error {
+func (c *Controller) ExecuteTimed(in *dynflow.Instance, s *dynflow.Schedule, f FlowSpec) (err error) {
+	defer c.beginExecute("timed", len(s.Times), &err)()
 	var ids []graph.NodeID
 	for v := range s.Times {
 		ids = append(ids, v)
@@ -102,31 +121,45 @@ func (c *Controller) ExecuteTimed(in *dynflow.Instance, s *dynflow.Schedule, f F
 // FlowMods of a round reach their switches after unpredictable control
 // latencies, rounds exhibit exactly the intra-round asynchrony the paper's
 // motivating example describes.
-func (c *Controller) ExecuteBarrierPaced(in *dynflow.Instance, s *dynflow.Schedule, f FlowSpec, unit sim.Time) error {
+func (c *Controller) ExecuteBarrierPaced(in *dynflow.Instance, s *dynflow.Schedule, f FlowSpec, unit sim.Time) (err error) {
+	defer c.beginExecute("rounds", len(s.Times), &err)()
 	if unit <= 0 {
 		unit = 1
 	}
 	for _, round := range s.Rounds() {
+		rsp := c.opts.Trace.StartSpan(int64(c.h.Now()), "ctl.round", c.curSpan(),
+			obs.A("round", round), obs.A("switches", len(s.At(round))))
+		c.pushSpan(rsp.SpanID())
+		endRound := func(e error) error {
+			c.popSpan()
+			outcome := "ok"
+			if e != nil {
+				outcome = "error"
+			}
+			rsp.End(int64(c.h.Now()), obs.A("outcome", outcome))
+			return e
+		}
 		for _, v := range s.At(round) {
 			nh := in.Fin.NextHop(v)
 			if nh == graph.Invalid {
-				return fmt.Errorf("controller: switch %s has no final next hop", c.h.G.Name(v))
+				return endRound(fmt.Errorf("controller: switch %s has no final next hop", c.h.G.Name(v)))
 			}
 			cmd := ofp.FlowModify
 			if in.OldNext(v) == graph.Invalid {
 				cmd = ofp.FlowAdd
 			}
-			if _, err := c.send(v, &ofp.FlowMod{
+			if _, serr := c.send(v, &ofp.FlowMod{
 				Command: cmd, Flow: f.Name, Tag: uint16(f.Tag),
 				Action: ofp.ActionOutput, NextHop: int32(nh),
-			}); err != nil {
-				return err
+			}); serr != nil {
+				return endRound(serr)
 			}
 		}
-		if err := c.Barrier(s.At(round)...); err != nil {
-			return err
+		if berr := c.Barrier(s.At(round)...); berr != nil {
+			return endRound(berr)
 		}
 		c.h.AdvanceBy(unit) // "Sleep for one time unit."
+		endRound(nil)
 	}
 	return nil
 }
@@ -135,7 +168,8 @@ func (c *Controller) ExecuteBarrierPaced(in *dynflow.Instance, s *dynflow.Schedu
 // path's rules under a fresh version tag everywhere and barriers; phase two
 // flips the ingress stamp so newly emitted traffic carries the new tag;
 // after the old traffic drains, the old version's rules are deleted.
-func (c *Controller) ExecuteTwoPhase(in *dynflow.Instance, f FlowSpec, newTag emu.Tag) error {
+func (c *Controller) ExecuteTwoPhase(in *dynflow.Instance, f FlowSpec, newTag emu.Tag) (err error) {
+	defer c.beginExecute("twophase", len(in.Fin), &err)()
 	// Phase 1: install tagged copies along the final path, dest-first.
 	dst := in.Fin.Dest()
 	if _, err := c.send(dst, &ofp.FlowMod{

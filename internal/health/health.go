@@ -1,0 +1,315 @@
+// Package health is the live SLO layer over Chronus updates: it folds
+// the scheduling tolerance a plan *promises* (per-switch slack from
+// core.ScheduleSlack) against the timing error the execution *shows*
+// (per-switch fire skew from the trace stream) into margins, burn
+// rates and a single OK/WARN/CRIT verdict.
+//
+// The engine is deliberately more nervous than the auditor: the
+// auditor flags an update after a violation is provable from the full
+// trace, while the health rules degrade as soon as the margin shrinks
+// — an invalid plan is CRIT before its first FlowMod is sent, a
+// critical-path switch firing late is CRIT at the apply event, and
+// half the slack consumed is already WARN.
+package health
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+
+	"github.com/chronus-sdn/chronus/internal/obs"
+)
+
+// Level is the overall health verdict, ordered by severity.
+type Level int
+
+// Severity order matters: rules compute the max.
+const (
+	OK Level = iota
+	Warn
+	Crit
+)
+
+// String renders the level the way /health and the dashboard show it.
+func (l Level) String() string {
+	switch l {
+	case Warn:
+		return "WARN"
+	case Crit:
+		return "CRIT"
+	default:
+		return "OK"
+	}
+}
+
+// warnBurnPct is the fraction of a switch's slack that may be consumed
+// by observed skew before the engine degrades to WARN.
+const warnBurnPct = 50
+
+// PlanSwitch is one switch's promise in a plan: its scheduled slack.
+type PlanSwitch struct {
+	Switch string `json:"switch"`
+	// SlackTicks is how many ticks this switch's activation may slip
+	// before the validator reports a violation.
+	SlackTicks int64 `json:"slack_ticks"`
+	// Critical marks zero-slack switches (any slip breaks the update).
+	Critical bool `json:"critical"`
+}
+
+// Plan is what the engine holds an execution accountable to.
+type Plan struct {
+	// Kind is the execution strategy: "timed", "rounds" or "twophase".
+	// Only timed plans carry slack promises; "rounds" runs without any
+	// timing guarantee and is WARN by rule.
+	Kind string `json:"kind"`
+	// Valid is the validator's verdict on the planned schedule; a plan
+	// known to violate (e.g. a best-effort oneshot) is CRIT from the
+	// moment it is set, before any switch applies anything.
+	Valid bool `json:"valid"`
+	// Switches lists the per-switch promises of a timed plan.
+	Switches []PlanSwitch `json:"switches,omitempty"`
+}
+
+// SwitchHealth is the live margin of one switch.
+type SwitchHealth struct {
+	Switch string `json:"switch"`
+	// SlackTicks is the plan's promise.
+	SlackTicks int64 `json:"slack_ticks"`
+	// WorstSkewTicks is the largest absolute fire skew observed so far.
+	WorstSkewTicks int64 `json:"worst_skew_ticks"`
+	// MarginTicks is SlackTicks - WorstSkewTicks; negative means the
+	// validator's tolerance is provably exceeded.
+	MarginTicks int64 `json:"margin_ticks"`
+	// BurnPct is the percentage of slack consumed (100 when a critical
+	// switch has slipped at all).
+	BurnPct int64 `json:"burn_pct"`
+	// Critical marks plan-critical switches.
+	Critical bool `json:"critical"`
+	// Applies counts observed rule applications on this switch.
+	Applies int64 `json:"applies"`
+}
+
+// Verdict is the machine-readable /health payload.
+type Verdict struct {
+	Level string `json:"level"`
+	// Reasons lists every rule that fired, most severe first.
+	Reasons []string `json:"reasons"`
+	// Plan echoes what the engine is judging against; nil when idle.
+	Plan *Plan `json:"plan,omitempty"`
+	// WorstSwitch is the switch with the smallest margin ("" when no
+	// timed plan is active) — the live analogue of the audit package's
+	// gating switch.
+	WorstSwitch      string `json:"worst_switch,omitempty"`
+	WorstMarginTicks int64  `json:"worst_margin_ticks"`
+	// Switches reports per-switch margins, ascending by name.
+	Switches []SwitchHealth `json:"switches,omitempty"`
+	// Disconnects counts control sessions lost since the plan was set.
+	Disconnects int64 `json:"disconnects"`
+}
+
+// Engine folds trace events into live margins. All methods are safe
+// for concurrent use; a nil engine is a no-op observer.
+type Engine struct {
+	mu          sync.Mutex
+	reg         *obs.Registry
+	plan        *Plan
+	slack       map[string]PlanSwitch
+	skew        map[string]int64
+	applies     map[string]int64
+	disconnects int64
+	cursor      uint64
+}
+
+// New builds an engine exporting its gauges on reg (nil disables the
+// metric mirror but not the engine).
+func New(reg *obs.Registry) *Engine {
+	reg.Help("chronus_slack_margin_ticks", "Per-switch remaining scheduling tolerance: planned slack minus worst observed fire skew.")
+	reg.Help("chronus_health_level", "Overall health verdict: 0 OK, 1 WARN, 2 CRIT.")
+	reg.Help("chronus_health_worst_margin_ticks", "Smallest per-switch slack margin (the live gating switch).")
+	reg.Help("chronus_health_burn_worst_pct", "Largest per-switch slack burn percentage.")
+	return &Engine{
+		reg:     reg,
+		slack:   map[string]PlanSwitch{},
+		skew:    map[string]int64{},
+		applies: map[string]int64{},
+	}
+}
+
+// SetPlan arms the engine with a new plan and clears the observations
+// of the previous one (the margins of a finished update stay readable
+// until the next plan arrives).
+func (e *Engine) SetPlan(p Plan) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.plan = &p
+	e.slack = map[string]PlanSwitch{}
+	e.skew = map[string]int64{}
+	e.applies = map[string]int64{}
+	e.disconnects = 0
+	for _, s := range p.Switches {
+		e.slack[s.Switch] = s
+		e.reg.Gauge(fmt.Sprintf("chronus_slack_margin_ticks{switch=%q}", s.Switch)).Set(s.SlackTicks)
+	}
+}
+
+// Cursor returns the trace sequence number up to which events have
+// been folded; feed Observe the events after it.
+func (e *Engine) Cursor() uint64 {
+	if e == nil {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cursor
+}
+
+// Observe folds a batch of trace events (as returned by
+// Tracer.Events(engine.Cursor())) into the margins. It consumes
+// sw.apply fire skews and ctl.disconnect events; everything else only
+// moves the cursor.
+func (e *Engine) Observe(events []obs.Event) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, ev := range events {
+		if ev.Seq > e.cursor {
+			e.cursor = ev.Seq
+		}
+		switch ev.Name {
+		case "sw.apply":
+			var sw string
+			var skew int64
+			for _, a := range ev.Attrs {
+				switch a.K {
+				case "switch":
+					sw = a.V
+				case "skew":
+					skew, _ = strconv.ParseInt(a.V, 10, 64)
+				}
+			}
+			if sw == "" {
+				continue
+			}
+			if skew < 0 {
+				skew = -skew
+			}
+			e.applies[sw]++
+			if skew > e.skew[sw] {
+				e.skew[sw] = skew
+			}
+			if p, ok := e.slack[sw]; ok {
+				e.reg.Gauge(fmt.Sprintf("chronus_slack_margin_ticks{switch=%q}", sw)).Set(p.SlackTicks - e.skew[sw])
+			}
+		case "ctl.disconnect":
+			e.disconnects++
+		}
+	}
+}
+
+// Verdict evaluates the rules table and mirrors the summary gauges.
+// The rules, in severity order:
+//
+//	CRIT  plan known invalid (validator violations at plan time)
+//	CRIT  control session lost during the update
+//	CRIT  margin < 0 on any switch (skew provably past the tolerance;
+//	      a critical switch slipping at all is this rule with slack 0)
+//	WARN  plan executes without timing guarantees (kind "rounds")
+//	WARN  burn >= 50% of slack on any switch
+//	OK    otherwise
+func (e *Engine) Verdict() Verdict {
+	if e == nil {
+		return Verdict{Level: OK.String()}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	v := Verdict{Disconnects: e.disconnects}
+	level := OK
+	raise := func(l Level, reason string) {
+		if l > level {
+			level = l
+		}
+		v.Reasons = append(v.Reasons, fmt.Sprintf("%s: %s", l, reason))
+	}
+
+	if e.plan == nil {
+		v.Level = OK.String()
+		v.Reasons = []string{"OK: idle (no update planned yet)"}
+		e.setSummaryGauges(OK, 0, 0)
+		return v
+	}
+	plan := *e.plan
+	v.Plan = &plan
+
+	if !plan.Valid {
+		raise(Crit, "planned schedule violates the validator (best-effort execution)")
+	}
+	if e.disconnects > 0 {
+		raise(Crit, fmt.Sprintf("%d control session(s) lost during the update", e.disconnects))
+	}
+	if plan.Kind == "rounds" {
+		raise(Warn, "barrier-paced execution carries no timed-slack guarantee")
+	}
+
+	names := make([]string, 0, len(e.slack))
+	for name := range e.slack {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	worstMargin, worstBurn := int64(0), int64(0)
+	first := true
+	for _, name := range names {
+		p := e.slack[name]
+		skew := e.skew[name]
+		margin := p.SlackTicks - skew
+		burn := int64(0)
+		if p.SlackTicks > 0 {
+			burn = 100 * skew / p.SlackTicks
+		} else if skew > 0 {
+			burn = 100
+		}
+		sh := SwitchHealth{
+			Switch:         name,
+			SlackTicks:     p.SlackTicks,
+			WorstSkewTicks: skew,
+			MarginTicks:    margin,
+			BurnPct:        burn,
+			Critical:       p.Critical,
+			Applies:        e.applies[name],
+		}
+		v.Switches = append(v.Switches, sh)
+		if first || margin < worstMargin {
+			worstMargin = margin
+			v.WorstSwitch = name
+			first = false
+		}
+		if burn > worstBurn {
+			worstBurn = burn
+		}
+		if margin < 0 {
+			raise(Crit, fmt.Sprintf("switch %s skewed %d ticks past its %d-tick slack", name, skew, p.SlackTicks))
+		} else if burn >= warnBurnPct {
+			raise(Warn, fmt.Sprintf("switch %s burned %d%% of its slack", name, burn))
+		}
+	}
+	v.WorstMarginTicks = worstMargin
+
+	if len(v.Reasons) == 0 {
+		raise(OK, "all margins inside slack")
+	}
+	v.Level = level.String()
+	e.setSummaryGauges(level, worstMargin, worstBurn)
+	return v
+}
+
+func (e *Engine) setSummaryGauges(level Level, worstMargin, worstBurn int64) {
+	e.reg.Gauge("chronus_health_level").Set(int64(level))
+	e.reg.Gauge("chronus_health_worst_margin_ticks").Set(worstMargin)
+	e.reg.Gauge("chronus_health_burn_worst_pct").Set(worstBurn)
+}

@@ -1,0 +1,138 @@
+package health
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/chronus-sdn/chronus/internal/obs"
+)
+
+func applyEvent(seq uint64, sw string, skew int64) obs.Event {
+	return obs.Event{Seq: seq, Name: "sw.apply", Attrs: []obs.Attr{
+		obs.A("switch", sw), obs.A("skew", skew),
+	}}
+}
+
+func TestIdleVerdict(t *testing.T) {
+	e := New(obs.NewRegistry())
+	v := e.Verdict()
+	if v.Level != "OK" {
+		t.Fatalf("idle level = %s", v.Level)
+	}
+	if len(v.Reasons) != 1 || !strings.Contains(v.Reasons[0], "idle") {
+		t.Fatalf("idle reasons = %v", v.Reasons)
+	}
+}
+
+func TestInvalidPlanIsCritBeforeAnyEvent(t *testing.T) {
+	// The oneshot case: a best-effort schedule the validator rejects
+	// must be CRIT from SetPlan, before any switch applies anything —
+	// strictly earlier than the auditor, which needs the full trace.
+	e := New(obs.NewRegistry())
+	e.SetPlan(Plan{Kind: "timed", Valid: false, Switches: []PlanSwitch{
+		{Switch: "R1", SlackTicks: 0, Critical: true},
+	}})
+	v := e.Verdict()
+	if v.Level != "CRIT" {
+		t.Fatalf("invalid plan level = %s, want CRIT", v.Level)
+	}
+}
+
+func TestMarginBurnAndCrit(t *testing.T) {
+	reg := obs.NewRegistry()
+	e := New(reg)
+	e.SetPlan(Plan{Kind: "timed", Valid: true, Switches: []PlanSwitch{
+		{Switch: "R1", SlackTicks: 10},
+		{Switch: "R2", SlackTicks: 4},
+		{Switch: "R3", SlackTicks: 0, Critical: true},
+	}})
+	if v := e.Verdict(); v.Level != "OK" {
+		t.Fatalf("fresh valid plan level = %s: %v", v.Level, v.Reasons)
+	}
+
+	// R1 burns 30%: still OK. Skew folds as worst |skew|.
+	e.Observe([]obs.Event{applyEvent(1, "R1", -3)})
+	v := e.Verdict()
+	if v.Level != "OK" {
+		t.Fatalf("30%% burn level = %s: %v", v.Level, v.Reasons)
+	}
+	if v.Switches[0].MarginTicks != 7 || v.Switches[0].BurnPct != 30 {
+		t.Fatalf("R1 health = %+v", v.Switches[0])
+	}
+
+	// R2 burns 50%: WARN. The untouched critical switch R3 (slack 0,
+	// margin 0) is still the worst margin.
+	e.Observe([]obs.Event{applyEvent(2, "R2", 2)})
+	v = e.Verdict()
+	if v.Level != "WARN" {
+		t.Fatalf("50%% burn level = %s: %v", v.Level, v.Reasons)
+	}
+	if v.WorstSwitch != "R3" || v.WorstMarginTicks != 0 {
+		t.Fatalf("worst = %s/%d, want R3/0", v.WorstSwitch, v.WorstMarginTicks)
+	}
+
+	// The critical switch slips one tick: CRIT (margin -1).
+	e.Observe([]obs.Event{applyEvent(3, "R3", 1)})
+	v = e.Verdict()
+	if v.Level != "CRIT" {
+		t.Fatalf("critical slip level = %s: %v", v.Level, v.Reasons)
+	}
+	if v.WorstSwitch != "R3" || v.WorstMarginTicks != -1 {
+		t.Fatalf("worst = %s/%d, want R3/-1", v.WorstSwitch, v.WorstMarginTicks)
+	}
+	if e.Cursor() != 3 {
+		t.Fatalf("cursor = %d, want 3", e.Cursor())
+	}
+
+	// Gauges mirror the verdict.
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`chronus_slack_margin_ticks{switch="R1"} 7`,
+		`chronus_slack_margin_ticks{switch="R2"} 2`,
+		`chronus_slack_margin_ticks{switch="R3"} -1`,
+		"chronus_health_level 2",
+		"chronus_health_worst_margin_ticks -1",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRoundsPlanWarnsAndDisconnectCrits(t *testing.T) {
+	e := New(nil) // nil registry: engine still works
+	e.SetPlan(Plan{Kind: "rounds", Valid: true})
+	v := e.Verdict()
+	if v.Level != "WARN" {
+		t.Fatalf("rounds level = %s: %v", v.Level, v.Reasons)
+	}
+	e.Observe([]obs.Event{{Seq: 9, Name: "ctl.disconnect"}})
+	v = e.Verdict()
+	if v.Level != "CRIT" || v.Disconnects != 1 {
+		t.Fatalf("disconnect level = %s, disconnects = %d", v.Level, v.Disconnects)
+	}
+	// A new plan clears the observations.
+	e.SetPlan(Plan{Kind: "timed", Valid: true})
+	if v := e.Verdict(); v.Level != "OK" {
+		t.Fatalf("replan level = %s: %v", v.Level, v.Reasons)
+	}
+	if e.Cursor() != 9 {
+		t.Fatalf("cursor reset by SetPlan: %d", e.Cursor())
+	}
+}
+
+func TestNilEngine(t *testing.T) {
+	var e *Engine
+	e.SetPlan(Plan{})
+	e.Observe(nil)
+	if c := e.Cursor(); c != 0 {
+		t.Fatalf("nil cursor = %d", c)
+	}
+	if v := e.Verdict(); v.Level != "OK" {
+		t.Fatalf("nil verdict = %s", v.Level)
+	}
+}

@@ -140,6 +140,7 @@ type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
+	gaugeFns map[string]func() int64
 	hists    map[string]*Histogram
 	help     map[string]string
 }
@@ -149,6 +150,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
+		gaugeFns: make(map[string]func() int64),
 		hists:    make(map[string]*Histogram),
 		help:     make(map[string]string),
 	}
@@ -183,6 +185,21 @@ func (r *Registry) Gauge(name string) *Gauge {
 		r.gauges[name] = g
 	}
 	return g
+}
+
+// GaugeFunc registers a gauge whose value is produced by calling f at
+// exposition time — the shape for values that live outside the
+// registry, such as Go runtime statistics. Registration is idempotent
+// (the latest function wins) and the name must not collide with a
+// static Gauge of the same name. f is called with the registry lock
+// held, so it must not call back into the registry.
+func (r *Registry) GaugeFunc(name string, f func() int64) {
+	if r == nil || f == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFns[name] = f
 }
 
 // Histogram returns the named histogram, creating it with the given
@@ -294,6 +311,9 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for name := range r.gauges {
 		add(name, "gauge")
 	}
+	for name := range r.gaugeFns {
+		add(name, "gauge")
+	}
 	for name := range r.hists {
 		add(name, "histogram")
 	}
@@ -316,7 +336,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			case "counter":
 				fmt.Fprintf(&b, "%s %d\n", s.name, r.counters[s.name].Value())
 			case "gauge":
-				fmt.Fprintf(&b, "%s %d\n", s.name, r.gauges[s.name].Value())
+				if g, ok := r.gauges[s.name]; ok {
+					fmt.Fprintf(&b, "%s %d\n", s.name, g.Value())
+				} else {
+					fmt.Fprintf(&b, "%s %d\n", s.name, r.gaugeFns[s.name]())
+				}
 			case "histogram":
 				h := r.hists[s.name]
 				cum := int64(0)

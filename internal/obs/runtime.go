@@ -1,0 +1,34 @@
+package obs
+
+import "runtime"
+
+// RegisterRuntimeMetrics adds Go runtime gauges to the registry,
+// sampled lazily at exposition time. It is opt-in because the values
+// are inherently nondeterministic: nothing in the deterministic
+// experiment or golden-test paths registers them, only long-lived
+// daemons (chronusd) where live memory and goroutine counts matter.
+//
+// Note that chronus_go_heap_alloc_bytes stalls the exposition for a
+// runtime.ReadMemStats (a stop-the-world on large heaps), which is the
+// standard cost of heap introspection and fine at scrape frequencies.
+func RegisterRuntimeMetrics(r *Registry) {
+	if r == nil {
+		return
+	}
+	r.Help("chronus_go_heap_alloc_bytes", "Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).")
+	r.GaugeFunc("chronus_go_heap_alloc_bytes", func() int64 {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return int64(m.HeapAlloc)
+	})
+	r.Help("chronus_go_gc_cycles", "Completed GC cycles since process start.")
+	r.GaugeFunc("chronus_go_gc_cycles", func() int64 {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return int64(m.NumGC)
+	})
+	r.Help("chronus_go_goroutines", "Live goroutines.")
+	r.GaugeFunc("chronus_go_goroutines", func() int64 {
+		return int64(runtime.NumGoroutine())
+	})
+}

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGaugeFuncExposition(t *testing.T) {
+	r := NewRegistry()
+	v := int64(7)
+	r.GaugeFunc("chronus_dynamic_value", func() int64 { return v })
+	r.Help("chronus_dynamic_value", "A lazily sampled value.")
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "# TYPE chronus_dynamic_value gauge\n") {
+		t.Errorf("missing TYPE line:\n%s", out)
+	}
+	if !strings.Contains(out, "chronus_dynamic_value 7\n") {
+		t.Errorf("missing sample:\n%s", out)
+	}
+	v = 9
+	b.Reset()
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "chronus_dynamic_value 9\n") {
+		t.Errorf("gauge func not re-evaluated:\n%s", b.String())
+	}
+	// Nil registry and nil func are no-ops.
+	var nilR *Registry
+	nilR.GaugeFunc("x", func() int64 { return 1 })
+	r.GaugeFunc("y", nil)
+}
+
+func TestRegisterRuntimeMetrics(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeMetrics(r)
+	RegisterRuntimeMetrics(nil) // no-op
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, fam := range []string{
+		"chronus_go_heap_alloc_bytes",
+		"chronus_go_gc_cycles",
+		"chronus_go_goroutines",
+	} {
+		if !strings.Contains(out, "# TYPE "+fam+" gauge\n") {
+			t.Errorf("missing family %s:\n%s", fam, out)
+		}
+	}
+	// Goroutine and heap gauges must report something alive.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "chronus_go_goroutines ") || strings.HasPrefix(line, "chronus_go_heap_alloc_bytes ") {
+			if strings.HasSuffix(line, " 0") {
+				t.Errorf("suspicious zero sample: %q", line)
+			}
+		}
+	}
+}

@@ -67,6 +67,7 @@ type Tracer struct {
 	head    int
 	count   int
 	seq     uint64
+	spanID  uint64
 	dropped uint64
 	wall    func() int64
 	drops   *Counter

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"github.com/chronus-sdn/chronus/internal/dynflow"
+	"github.com/chronus-sdn/chronus/internal/obs"
 )
 
 // ErrUnknown reports a Lookup or Solve against a name nobody registered.
@@ -78,13 +79,18 @@ func All() []Scheme {
 
 // Solve looks up name and runs it, recording a scheme-labelled solve
 // counter on o.Obs (when set) regardless of which scheme ran — the one
-// instrumentation point every consumer shares.
+// instrumentation point every consumer shares. When o.Trace is set it
+// additionally records a "solve" span (parented under o.Span, stamped
+// at o.VT) so an update's span tree shows which scheme planned it and
+// how it came out.
 func Solve(name string, in *dynflow.Instance, o Options) (*Result, error) {
 	s, err := Lookup(name)
 	if err != nil {
 		return nil, err
 	}
+	sp := o.Trace.StartSpan(o.VT, "solve", o.Span, obs.A("scheme", name))
 	res, err := s.Solve(in, o)
+	sp.End(o.VT, obs.A("outcome", outcomeOf(res, err)))
 	observe(o.Obs, name, res, err)
 	return res, err
 }

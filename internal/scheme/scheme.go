@@ -63,6 +63,12 @@ type Options struct {
 	Obs *obs.Registry
 	// Trace receives per-decision engine events; nil disables tracing.
 	Trace *obs.Tracer
+	// VT is the virtual time stamped on the solve span (schemes run
+	// outside the sim clock, so the caller supplies the coordinate).
+	VT int64
+	// Span is the parent span the solve span is recorded under (zero
+	// for a root); only meaningful when Trace is set.
+	Span obs.SpanID
 }
 
 // Diagnostics carries scheme-specific counters (search nodes, validator

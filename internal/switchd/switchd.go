@@ -100,7 +100,12 @@ func (a *Agent) Handle(m ofp.Msg) []ofp.Msg {
 		// confirms receipt and scheduling, per the Time4 model.
 		a.met.barriers.Inc()
 		if a.trace != nil {
-			a.trace.Point(int64(a.net.K.Now()), "sw.barrier", obs.A("switch", a.sw.Name()))
+			now := int64(a.net.K.Now())
+			a.trace.Point(now, "sw.barrier", obs.A("switch", a.sw.Name()))
+			// Parentless on purpose: the xid links it under the
+			// controller's ctl.send span when the forest is built.
+			a.trace.EmitSpan("sw.barrier", 0, now, now,
+				obs.A("switch", a.sw.Name()), obs.A("xid", req.XID))
 		}
 		return []ofp.Msg{&ofp.BarrierReply{XID: req.XID}}
 	case *ofp.StatsRequest:
@@ -160,9 +165,13 @@ func (a *Agent) flowMod(m *ofp.FlowMod) error {
 	if m.ExecuteAt == 0 {
 		a.met.immediate.Inc()
 		if a.trace != nil {
-			a.trace.Point(int64(a.net.K.Now()), "sw.flowmod",
+			now := int64(a.net.K.Now())
+			a.trace.Point(now, "sw.flowmod",
 				obs.A("switch", a.sw.Name()), obs.A("kind", "immediate"),
 				obs.A("key", key.String()), obs.A("cmd", cmd), obs.A("next", next))
+			a.trace.EmitSpan("sw.recv", 0, now, now,
+				obs.A("switch", a.sw.Name()), obs.A("xid", m.XID),
+				obs.A("kind", "immediate"), obs.A("key", key.String()))
 		}
 		a.scheduled++
 		apply()
@@ -180,6 +189,12 @@ func (a *Agent) flowMod(m *ofp.FlowMod) error {
 		at = now
 	}
 	a.met.timed.Inc()
+	// The recv span covers the whole switch-side residency of a timed
+	// FlowMod — arrival through scheduled application — and is left
+	// parentless so the xid folds it under the controller's send span.
+	recvSpan := a.trace.StartSpan(int64(now), "sw.recv",
+		0, obs.A("switch", a.sw.Name()), obs.A("xid", m.XID),
+		obs.A("kind", "timed"), obs.A("at", int64(requested)), obs.A("key", key.String()))
 	if a.trace != nil {
 		a.trace.Point(int64(now), "sw.flowmod",
 			obs.A("switch", a.sw.Name()), obs.A("kind", "timed"), obs.A("at", int64(requested)),
@@ -196,10 +211,14 @@ func (a *Agent) flowMod(m *ofp.FlowMod) error {
 		}
 		a.met.fireSkew.Observe(float64(abs))
 		if a.trace != nil {
-			a.trace.Point(int64(a.net.K.Now()), "sw.apply",
+			fire := int64(a.net.K.Now())
+			a.trace.Point(fire, "sw.apply",
 				obs.A("switch", a.sw.Name()), obs.A("skew", skew),
 				obs.A("at", int64(requested)),
 				obs.A("key", key.String()), obs.A("cmd", cmd), obs.A("next", next))
+			a.trace.EmitSpan("sw.apply", recvSpan.SpanID(), fire, fire,
+				obs.A("switch", a.sw.Name()), obs.A("xid", m.XID), obs.A("skew", skew))
+			recvSpan.End(fire)
 		}
 		apply()
 	})

@@ -24,7 +24,17 @@ type (
 	TracerOptions = obs.TracerOptions
 	// TraceEvent is one recorded trace event.
 	TraceEvent = obs.Event
+	// SpanID identifies one span within a tracer's event stream; zero
+	// means "no span".
+	SpanID = obs.SpanID
+	// SpanNode is one reconstructed span in a forest (see BuildSpanForest).
+	SpanNode = obs.SpanNode
 )
+
+// SpanEventName is the trace event name carrying an encoded span; stream
+// consumers that only care about point events can skip events with this
+// name.
+const SpanEventName = obs.SpanEventName
 
 // NewMetricsRegistry returns an empty metrics registry.
 func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
@@ -32,6 +42,11 @@ func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 // NewTracer returns a tracer. The zero TracerOptions give a
 // deterministic tracer (events carry virtual time only).
 func NewTracer(o TracerOptions) *Tracer { return obs.NewTracer(o) }
+
+// BuildSpanForest reconstructs span trees from a tracer's event slice,
+// linking controller- and switch-side spans through OFP transaction
+// IDs. See the obs package for the linking rules.
+func BuildSpanForest(events []TraceEvent) []*SpanNode { return obs.BuildSpanForest(events) }
 
 // RegisterAllMetrics pre-registers every chronus metric family on r —
 // scheduler, scheme registry, validator, controller, switch agents and

@@ -42,6 +42,10 @@ type SchemeOptions struct {
 	Obs *MetricsRegistry
 	// Trace receives per-decision engine events.
 	Trace *Tracer
+	// VT is the virtual time stamped on the solve span.
+	VT int64
+	// Span is the parent span the solve span is recorded under.
+	Span SpanID
 }
 
 // SchemeResult is the uniform outcome of SolveWith. Timed schemes set
@@ -79,6 +83,8 @@ func SolveWith(name string, in *Instance, o SchemeOptions) (*SchemeResult, error
 		BestEffort: o.BestEffort,
 		Obs:        o.Obs,
 		Trace:      o.Trace,
+		VT:         o.VT,
+		Span:       o.Span,
 	})
 	if err != nil {
 		return nil, err
