@@ -37,6 +37,9 @@ type serverOptions struct {
 	Wall bool
 	// Log receives structured request and update logs; nil discards.
 	Log *slog.Logger
+	// TraceCap bounds the tracer ring (0 = the tracer's default). Tests
+	// use tiny rings to exercise paging under eviction.
+	TraceCap int
 }
 
 // server holds the daemon's state: the emulated network, its switch agents
@@ -81,6 +84,7 @@ func newServer(o serverOptions) (*server, error) {
 	}
 	tracer := chronus.NewTracer(chronus.TracerOptions{
 		Wall:  wall,
+		Cap:   o.TraceCap,
 		Drops: reg.Counter("chronus_trace_dropped_events_total"),
 	})
 	in.Obs = reg
@@ -191,28 +195,22 @@ func (r *statusRecorder) WriteHeader(code int) {
 // handleSpans returns the causal span forest reconstructed from the
 // trace ring. ?since= and ?limit= page through the underlying events
 // exactly like /trace (limit bounds events read, not spans returned);
-// the next cursor resumes where this page stopped. In deterministic
-// (virtual, no-wall) mode the response bytes are fixed per seed.
+// the next cursor resumes where this page stopped, and "skipped"
+// reports how many events between the cursor and this page the ring
+// evicted before they could be served. In deterministic (virtual,
+// no-wall) mode the response bytes are fixed per seed.
 func (s *server) handleSpans(w http.ResponseWriter, r *http.Request) {
 	since, limit, err := parsePaging(r)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	var events []chronus.TraceEvent
-	next := since
-	if limit > 0 {
-		events, next = s.tracer.Page(since, limit)
-	} else {
-		events = s.tracer.Events(since)
-		if len(events) > 0 {
-			next = events[len(events)-1].Seq
-		}
-	}
+	ps := s.tracer.PageStats(since, limit)
 	writeJSON(w, http.StatusOK, map[string]any{
-		"spans":   chronus.BuildSpanForest(events),
-		"next":    next,
-		"dropped": s.tracer.Dropped(),
+		"spans":   chronus.BuildSpanForest(ps.Events),
+		"next":    ps.Next,
+		"skipped": ps.Skipped,
+		"dropped": ps.Dropped,
 	})
 }
 
@@ -276,7 +274,10 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // skips events with sequence numbers <= N, so pollers can tail the ring
 // incrementally. With ?limit=N the response is instead a JSON envelope
 // holding at most N events, the cursor to pass as since on the next
-// page, and the tracer's eviction count.
+// page, the count of events between the cursor and this page that the
+// ring evicted unserved ("skipped"), and the tracer's total eviction
+// count — all captured atomically, so a client summing skipped across
+// pages accounts for every sequence number it never received.
 func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	since, limit, err := parsePaging(r)
 	if err != nil {
@@ -284,11 +285,12 @@ func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if limit > 0 {
-		events, next := s.tracer.Page(since, limit)
+		ps := s.tracer.PageStats(since, limit)
 		writeJSON(w, http.StatusOK, map[string]any{
-			"events":  events,
-			"next":    next,
-			"dropped": s.tracer.Dropped(),
+			"events":  ps.Events,
+			"next":    ps.Next,
+			"skipped": ps.Skipped,
+			"dropped": ps.Dropped,
 		})
 		return
 	}

@@ -484,3 +484,109 @@ func TestDaemonUpdateUnknownMethodListsSchemes(t *testing.T) {
 		}
 	}
 }
+
+// TestDaemonTracePagingWhileDropping walks a full paginated /trace read
+// against a deliberately tiny ring while an update floods it with
+// events. Every sequence number must be either delivered on some page
+// or covered by that page's "skipped" count — duplicated or silently
+// lost seqs fail the accounting. This is the regression test for the
+// cursor-vs-Dropped() drift: the envelope's numbers are now captured
+// under the ring lock together with the page.
+func TestDaemonTracePagingWhileDropping(t *testing.T) {
+	_, ts := newTestServerOpts(t, serverOptions{Seed: 3, Virtual: true, TraceCap: 48})
+
+	done := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/update", "application/json", strings.NewReader(`{"method": "chronus"}`))
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				err = fmt.Errorf("update: %s", resp.Status)
+			}
+		}
+		done <- err
+	}()
+
+	type page struct {
+		Events []struct {
+			Seq uint64 `json:"seq"`
+		} `json:"events"`
+		Next    uint64 `json:"next"`
+		Skipped uint64 `json:"skipped"`
+		Dropped uint64 `json:"dropped"`
+	}
+	var cursor, seen, skipped, dropped uint64
+	updating := true
+	for {
+		var p page
+		getJSON(t, fmt.Sprintf("%s/trace?since=%d&limit=5", ts.URL, cursor), &p)
+		dropped = p.Dropped
+		if len(p.Events) == 0 {
+			if p.Next != cursor {
+				t.Fatalf("empty page moved the cursor: %d -> %d", cursor, p.Next)
+			}
+			if p.Skipped != 0 {
+				t.Fatalf("empty page reported skipped=%d", p.Skipped)
+			}
+			if !updating {
+				break
+			}
+			if err := <-done; err != nil {
+				t.Fatal(err)
+			}
+			updating = false // one more pass to drain the tail
+			continue
+		}
+		if want := cursor + p.Skipped + 1; p.Events[0].Seq != want {
+			t.Fatalf("first seq %d != cursor %d + skipped %d + 1", p.Events[0].Seq, cursor, p.Skipped)
+		}
+		for i := 1; i < len(p.Events); i++ {
+			if p.Events[i].Seq != p.Events[i-1].Seq+1 {
+				t.Fatalf("page not contiguous: seq %d after %d", p.Events[i].Seq, p.Events[i-1].Seq)
+			}
+		}
+		if p.Next != p.Events[len(p.Events)-1].Seq {
+			t.Fatalf("next %d != last seq of page %d", p.Next, p.Events[len(p.Events)-1].Seq)
+		}
+		seen += uint64(len(p.Events))
+		skipped += p.Skipped
+		cursor = p.Next
+	}
+	if seen+skipped != cursor {
+		t.Fatalf("seen %d + skipped %d != final cursor %d: seqs duplicated or silently lost", seen, skipped, cursor)
+	}
+	if skipped == 0 {
+		t.Fatal("ring never evicted between pages; shrink TraceCap so the test exercises the drift path")
+	}
+	if skipped > dropped {
+		t.Fatalf("reported skipped %d exceeds total drops %d", skipped, dropped)
+	}
+
+	// /spans pages through the same ring with the same accounting: each
+	// page's cursor advance is exactly its skipped gap plus the events
+	// it consumed (at most limit).
+	type spansPage struct {
+		Next    uint64 `json:"next"`
+		Skipped uint64 `json:"skipped"`
+	}
+	var sp spansPage
+	getJSON(t, ts.URL+"/spans?limit=5", &sp)
+	if sp.Skipped == 0 {
+		t.Fatal("/spans from cursor 0 reported no skipped events although the ring overflowed")
+	}
+	if consumed := sp.Next - sp.Skipped; consumed > 5 {
+		t.Fatalf("/spans page consumed %d events > limit 5", consumed)
+	}
+	for prev := sp.Next; ; prev = sp.Next {
+		getJSON(t, fmt.Sprintf("%s/spans?since=%d&limit=5", ts.URL, prev), &sp)
+		if consumed := sp.Next - prev - sp.Skipped; consumed > 5 {
+			t.Fatalf("/spans page consumed %d events > limit 5", consumed)
+		}
+		if sp.Next == prev {
+			break
+		}
+	}
+	if sp.Next != cursor {
+		t.Fatalf("/spans exhausted at cursor %d, /trace at %d", sp.Next, cursor)
+	}
+}

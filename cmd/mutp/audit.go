@@ -36,7 +36,10 @@ func runAudit(out io.Writer, in *chronus.Instance, s *chronus.Schedule, seed int
 
 // auditFromFile audits a previously captured JSONL trace (the output of
 // -trace or the chronusd /trace endpoint) offline, with no instance or
-// schedule needed.
+// schedule needed. Captures cut off mid-write are common (the writer
+// was killed, the ring was snapshotted live), so a torn trailing line
+// is warned about and skipped; corruption anywhere earlier, or a file
+// with no events at all, fails with a diagnosable error.
 func auditFromFile(out io.Writer, path, jsonPath string) error {
 	f, err := os.Open(path)
 	if err != nil {
@@ -44,8 +47,15 @@ func auditFromFile(out io.Writer, path, jsonPath string) error {
 	}
 	defer f.Close()
 	a := audit.New()
-	if err := a.ReadJSONL(f); err != nil {
-		return err
+	n, warn, err := a.ReadJSONLTolerant(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if warn != "" {
+		fmt.Fprintf(out, "warning: %s: %s\n", path, warn)
+	}
+	if n == 0 {
+		return fmt.Errorf("%s: no trace events (empty or fully torn capture)", path)
 	}
 	rep := a.Report()
 	rep.Render(out)

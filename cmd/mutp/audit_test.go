@@ -105,3 +105,60 @@ func TestCLIAuditRequiresTimedScheme(t *testing.T) {
 		t.Fatal("-audit with round-based scheme accepted")
 	}
 }
+
+// TestCLIAuditFromDamagedCaptures covers -audit-from against the traces
+// an operator actually has after a crash: a file whose last line was
+// cut off mid-write (audited with a warning), an empty capture (clear
+// error instead of a vacuous PASS), and mid-stream corruption (a
+// line-numbered error naming the file).
+func TestCLIAuditFromDamagedCaptures(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.jsonl")
+	runCLI(t, "-instance", "fig1", "-scheme", "oneshot", "-trace", trace)
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("torn-last-line", func(t *testing.T) {
+		torn := filepath.Join(dir, "torn.jsonl")
+		// Cut the capture mid-way through its final line, as a killed
+		// writer would leave it.
+		if err := os.WriteFile(torn, data[:len(data)-12], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		out := runCLI(t, "-audit-from", torn)
+		if !strings.Contains(out, "warning:") || !strings.Contains(out, "torn trailing line") {
+			t.Fatalf("no torn-line warning in output:\n%s", out)
+		}
+		if !strings.Contains(out, "audit:") {
+			t.Fatalf("audit verdict missing — the intact prefix should still be audited:\n%s", out)
+		}
+	})
+
+	t.Run("empty-file", func(t *testing.T) {
+		empty := filepath.Join(dir, "empty.jsonl")
+		if err := os.WriteFile(empty, nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		err := run([]string{"-audit-from", empty}, &buf)
+		if err == nil || !strings.Contains(err.Error(), "no trace events") {
+			t.Fatalf("err = %v, want an explicit empty-capture error", err)
+		}
+	})
+
+	t.Run("mid-stream-corruption", func(t *testing.T) {
+		corrupt := filepath.Join(dir, "corrupt.jsonl")
+		lines := bytes.SplitAfter(data, []byte("\n"))
+		lines[1] = []byte("{definitely not json}\n")
+		if err := os.WriteFile(corrupt, bytes.Join(lines, nil), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		err := run([]string{"-audit-from", corrupt}, &buf)
+		if err == nil || !strings.Contains(err.Error(), "line 2") || !strings.Contains(err.Error(), "corrupt.jsonl") {
+			t.Fatalf("err = %v, want a line-numbered error naming the file", err)
+		}
+	})
+}

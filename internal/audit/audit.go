@@ -92,24 +92,57 @@ func (a *Auditor) Feed(evs ...obs.Event) {
 }
 
 // ReadJSONL feeds every event of a JSON-Lines stream (the format
-// obs.Tracer.WriteJSONL and the chronusd /trace endpoint emit).
+// obs.Tracer.WriteJSONL and the chronusd /trace endpoint emit). Any
+// malformed line — including a torn trailing one — is a line-numbered
+// error; use ReadJSONLTolerant for captures that may have been cut off
+// mid-write.
 func (a *Auditor) ReadJSONL(r io.Reader) error {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	_, _, err := a.readJSONL(r, true)
+	return err
+}
+
+// ReadJSONLTolerant is ReadJSONL for captures taken from a live writer:
+// a final line missing its terminating newline that fails to parse is a
+// torn mid-write tail, reported in warn and skipped rather than failing
+// the whole read. Corruption anywhere else — a malformed line that IS
+// newline-terminated, or a malformed line followed by more data — still
+// fails with a line-numbered error, because nothing after a corrupt
+// record can be trusted to be aligned. n is the number of events fed.
+func (a *Auditor) ReadJSONLTolerant(r io.Reader) (n int, warn string, err error) {
+	return a.readJSONL(r, false)
+}
+
+func (a *Auditor) readJSONL(r io.Reader, strict bool) (n int, warn string, err error) {
+	br := bufio.NewReaderSize(r, 64*1024)
 	line := 0
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" {
-			continue
+	for {
+		text, rerr := br.ReadString('\n')
+		if rerr != nil && rerr != io.EOF {
+			return n, warn, rerr
 		}
-		var e obs.Event
-		if err := json.Unmarshal([]byte(text), &e); err != nil {
-			return fmt.Errorf("audit: line %d: %w", line, err)
+		atEOF := rerr == io.EOF
+		if text != "" {
+			line++
+			if t := strings.TrimSpace(text); t != "" {
+				var e obs.Event
+				if uerr := json.Unmarshal([]byte(t), &e); uerr != nil {
+					// A bad final line with no terminating newline is a
+					// torn mid-write tail, not corruption.
+					if !strict && atEOF {
+						warn = fmt.Sprintf("line %d: ignoring torn trailing line: %v", line, uerr)
+					} else {
+						return n, warn, fmt.Errorf("audit: line %d: %w", line, uerr)
+					}
+				} else {
+					a.events = append(a.events, e)
+					n++
+				}
+			}
 		}
-		a.events = append(a.events, e)
+		if atEOF {
+			return n, warn, nil
+		}
 	}
-	return sc.Err()
 }
 
 // attr returns the value of the named attribute, or "".

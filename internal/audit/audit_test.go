@@ -213,3 +213,68 @@ func TestReportRenderDeterministic(t *testing.T) {
 		t.Errorf("render not deterministic:\n%s\nvs\n%s", a, b)
 	}
 }
+
+// TestReadJSONLTolerant pins the torn-capture semantics: a final line
+// cut off mid-write (no terminating newline) is warned about and
+// skipped; the same bytes followed by a newline — or by more data — are
+// corruption and fail with the line number.
+func TestReadJSONLTolerant(t *testing.T) {
+	const good = `{"seq":1,"vt":10,"name":"sw.flowmod","attrs":[{"k":"switch","v":"v1"}]}`
+
+	t.Run("torn-last-line", func(t *testing.T) {
+		a := New()
+		n, warn, err := a.ReadJSONLTolerant(strings.NewReader(good + "\n" + `{"seq":2,"vt":11,"na`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 1 {
+			t.Fatalf("n = %d, want the 1 intact event", n)
+		}
+		if !strings.Contains(warn, "line 2") || !strings.Contains(warn, "torn") {
+			t.Fatalf("warn = %q, want a line-numbered torn-line warning", warn)
+		}
+	})
+
+	t.Run("terminated-bad-line-still-fails", func(t *testing.T) {
+		a := New()
+		_, _, err := a.ReadJSONLTolerant(strings.NewReader(good + "\n" + `{"seq":2,"vt":11,"na` + "\n"))
+		if err == nil || !strings.Contains(err.Error(), "line 2") {
+			t.Fatalf("err = %v, want line-numbered error for newline-terminated corruption", err)
+		}
+	})
+
+	t.Run("mid-stream-corruption-still-fails", func(t *testing.T) {
+		a := New()
+		_, _, err := a.ReadJSONLTolerant(strings.NewReader(`{broken}` + "\n" + good + "\n"))
+		if err == nil || !strings.Contains(err.Error(), "line 1") {
+			t.Fatalf("err = %v, want line-numbered error for mid-stream corruption", err)
+		}
+	})
+
+	t.Run("valid-unterminated-last-line", func(t *testing.T) {
+		a := New()
+		n, warn, err := a.ReadJSONLTolerant(strings.NewReader(good + "\n" + good))
+		if err != nil || warn != "" || n != 2 {
+			t.Fatalf("n=%d warn=%q err=%v, want both events accepted silently", n, warn, err)
+		}
+	})
+
+	t.Run("empty", func(t *testing.T) {
+		for _, input := range []string{"", "\n\n  \n"} {
+			a := New()
+			n, warn, err := a.ReadJSONLTolerant(strings.NewReader(input))
+			if err != nil || warn != "" || n != 0 {
+				t.Fatalf("input %q: n=%d warn=%q err=%v, want a clean zero-event read", input, n, warn, err)
+			}
+		}
+	})
+
+	// Strict ReadJSONL keeps failing on the torn tail too.
+	t.Run("strict-torn-last-line", func(t *testing.T) {
+		a := New()
+		err := a.ReadJSONL(strings.NewReader(good + "\n" + `{"seq":2,"vt":11,"na`))
+		if err == nil || !strings.Contains(err.Error(), "line 2") {
+			t.Fatalf("err = %v, want strict reader to reject the torn line", err)
+		}
+	})
+}

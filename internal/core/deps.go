@@ -39,25 +39,39 @@ func (c Chain) Format(g *graph.Graph) string {
 // dependency yields ErrDependencyCycle (Algorithm 2 lines 7-8: no
 // congestion-free update order exists under the paper's local reasoning).
 func DependencyChains(in *dynflow.Instance, s *dynflow.Schedule, pending []graph.NodeID, t dynflow.Tick) ([]Chain, error) {
-	isPending := make(map[graph.NodeID]bool, len(pending))
+	ws := getWorkspace(in.G.NumNodes())
+	defer putWorkspace(ws)
+	return dependencyChains(in, s, pending, t, ws)
+}
+
+// dependencyChains is DependencyChains over a caller-supplied workspace;
+// the scheduler's per-tick calls go through here so the node-indexed
+// scratch (pending marks, active-path positions) is stamped, not
+// reallocated.
+func dependencyChains(in *dynflow.Instance, s *dynflow.Schedule, pending []graph.NodeID, t dynflow.Tick, ws *workspace) ([]Chain, error) {
+	ws.pendGen++
 	for _, v := range pending {
-		isPending[v] = true
+		if uint64(v) < uint64(len(ws.pend)) {
+			ws.pend[v] = ws.pendGen
+		}
 	}
-	cur := activePath(in, s, t)
-	pos := make([]int32, in.G.NumNodes())
-	for i := range pos {
-		pos[i] = -1
+	isPending := func(v graph.NodeID) bool {
+		return uint64(v) < uint64(len(ws.pend)) && ws.pend[v] == ws.pendGen
 	}
+	cur := activePathInto(ws.pathB[:0], in, s, t, ws)
+	ws.pathB = cur
+	ws.posGen++
 	for i, u := range cur {
-		if int(u) < len(pos) {
-			pos[u] = int32(i)
+		if uint64(u) < uint64(len(ws.pos)) {
+			ws.pos[u] = int32(i)
+			ws.posStamp[u] = ws.posGen
 		}
 	}
 	upstream := func(v graph.NodeID) graph.NodeID {
-		if int(v) >= len(pos) || pos[v] <= 0 {
+		if uint64(v) >= uint64(len(ws.pos)) || ws.posStamp[v] != ws.posGen || ws.pos[v] <= 0 {
 			return graph.Invalid
 		}
-		return cur[pos[v]-1]
+		return cur[ws.pos[v]-1]
 	}
 	succ := make(map[graph.NodeID][]graph.NodeID)
 	for _, vi := range pending {
@@ -79,7 +93,7 @@ func DependencyChains(in *dynflow.Instance, s *dynflow.Schedule, pending []graph
 		if !ok {
 			continue
 		}
-		if out.Cap < 2*in.Demand && vUp != graph.Invalid && isPending[vUp] && vUp != vi {
+		if out.Cap < 2*in.Demand && vUp != graph.Invalid && isPending(vUp) && vUp != vi {
 			succ[vUp] = append(succ[vUp], vi)
 		}
 	}

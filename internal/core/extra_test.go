@@ -56,7 +56,7 @@ func TestLoopCheckerBlackholeAndCycle(t *testing.T) {
 		t.Fatal(err)
 	}
 	sched := dynflow.NewSchedule(0)
-	lc := newLoopChecker(in, sched, 0)
+	lc := newLoopChecker(in, sched, 0, newWorkspace(g.NumNodes()))
 	// s redirects to x, whose rule does not exist yet: blackhole → reject.
 	if lc.ok(s) {
 		t.Fatal("redirect into rule-less switch accepted")
@@ -72,7 +72,7 @@ func TestLoopCheckerBlackholeAndCycle(t *testing.T) {
 	// With y and x installed, s is acceptable.
 	sched.Set(y, 0)
 	sched.Set(x, 0)
-	lc = newLoopChecker(in, sched, 0)
+	lc = newLoopChecker(in, sched, 0, newWorkspace(g.NumNodes()))
 	if !lc.ok(s) {
 		t.Fatal("s rejected although the new route is fully installed")
 	}

@@ -57,19 +57,24 @@ type fastState struct {
 	// unit can still arrive at v.
 	arrivesUntil map[graph.NodeID]dynflow.Tick
 
-	// Scratch state reused across route walks to avoid per-call
-	// allocations on the scheduling hot path.
-	visit      []uint64
-	stamp      uint64
+	// ws supplies the pooled node-indexed scratch (activePos mirror and
+	// route-walk visit stamps); routeLinks/routeOffs are per-solve route
+	// buffers reused across walks.
+	ws         *workspace
 	routeLinks []linkKey
 	routeOffs  []dynflow.Tick
 }
 
-func newFastState(in *dynflow.Instance) *fastState {
+func newFastState(in *dynflow.Instance, ws *workspace) *fastState {
 	fs := &fastState{
 		in:           in,
 		drains:       make(map[linkKey][]interval),
 		arrivesUntil: make(map[graph.NodeID]dynflow.Tick),
+		ws:           ws,
+	}
+	fs.activePos = ws.activePos[:in.G.NumNodes()]
+	for i := range fs.activePos {
+		fs.activePos[i] = -1
 	}
 	since := make([]dynflow.Tick, len(in.Init))
 	for i := range since {
@@ -80,14 +85,9 @@ func newFastState(in *dynflow.Instance) *fastState {
 }
 
 // setActive installs p as the active path; since[i] is the first departure
-// tick of the ramp on link (p[i], p[i+1]).
+// tick of the ramp on link (p[i], p[i+1]). activePos was initialized to
+// all -1 by newFastState; each install clears only the outgoing path.
 func (fs *fastState) setActive(p graph.Path, since []dynflow.Tick) {
-	if fs.activePos == nil {
-		fs.activePos = make([]int32, fs.in.G.NumNodes())
-		for i := range fs.activePos {
-			fs.activePos[i] = -1
-		}
-	}
 	for _, v := range fs.active {
 		if int(v) < len(fs.activePos) {
 			fs.activePos[v] = -1
@@ -125,7 +125,7 @@ func (fs *fastState) route(s *dynflow.Schedule, v graph.NodeID, t dynflow.Tick) 
 	cur := v
 	next := in.NewNext(v)
 	var c dynflow.Tick
-	fs.stamp++
+	fs.ws.visitGen++
 	fs.mark(v)
 	links = fs.routeLinks[:0]
 	offs = fs.routeOffs[:0]
@@ -162,16 +162,13 @@ func (fs *fastState) link(a, b graph.NodeID) (graph.Link, bool) {
 }
 
 func (fs *fastState) mark(v graph.NodeID) {
-	if fs.visit == nil {
-		fs.visit = make([]uint64, fs.in.G.NumNodes())
-	}
-	if int(v) < len(fs.visit) {
-		fs.visit[v] = fs.stamp
+	if uint64(v) < uint64(len(fs.ws.visit)) {
+		fs.ws.visit[v] = fs.ws.visitGen
 	}
 }
 
 func (fs *fastState) marked(v graph.NodeID) bool {
-	return int(v) < len(fs.visit) && fs.visit[v] == fs.stamp
+	return uint64(v) < uint64(len(fs.ws.visit)) && fs.ws.visit[v] == fs.ws.visitGen
 }
 
 // tryUpdate checks whether flipping v at tick t keeps the data plane

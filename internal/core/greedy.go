@@ -70,11 +70,13 @@ func Greedy(in *dynflow.Instance, opts Options) (*Result, error) {
 		}
 		return res, nil
 	}
+	ws := getWorkspace(in.G.NumNodes())
+	defer putWorkspace(ws)
 	var err error
 	if mode == ModeFast {
-		res, err = greedyFast(in, opts, sm, res)
+		res, err = greedyFast(in, opts, sm, res, ws)
 	} else {
-		res, err = greedyExact(in, opts, sm, res)
+		res, err = greedyExact(in, opts, sm, res, ws)
 	}
 	if err == nil {
 		sm.makespan.Observe(float64(res.Schedule.Makespan()))
@@ -85,12 +87,12 @@ func Greedy(in *dynflow.Instance, opts Options) (*Result, error) {
 // greedyExact is the validator-backed variant: per tick, try every pending
 // candidate and keep those the ground-truth validator approves. Intended
 // for the instance sizes of the quality experiments (tens of switches).
-func greedyExact(in *dynflow.Instance, opts Options, sm schedMetrics, res *Result) (*Result, error) {
+func greedyExact(in *dynflow.Instance, opts Options, sm schedMetrics, res *Result, ws *workspace) (*Result, error) {
 	s := res.Schedule
 	pending := in.UpdateSet()
 	maxTicks := opts.MaxTicks
 	if maxTicks <= 0 {
-		maxTicks = autoMaxTicks(in)
+		maxTicks = autoMaxTicksFrom(in, topoFactsFor(in, opts.Obs, opts.NoCache).maxDelay)
 	}
 	pathDrain := dynflow.Tick(in.Init.Delay(in.G) + in.Fin.Delay(in.G))
 	drainHorizon := s.Start + dynflow.Tick(in.Init.Delay(in.G))
@@ -100,9 +102,10 @@ func greedyExact(in *dynflow.Instance, opts Options, sm schedMetrics, res *Resul
 	// time but carry no closed-form retry tick, so rejected candidates back
 	// off exponentially (reset whenever an acceptance changes the
 	// configuration). This bounds revalidations per candidate per epoch to
-	// a logarithm of the drain time at a small makespan cost.
-	sleepUntil := make(map[graph.NodeID]dynflow.Tick)
-	strikes := make(map[graph.NodeID]uint)
+	// a logarithm of the drain time at a small makespan cost. The backoff
+	// state lives in the workspace's stamped arrays; resetSleep opens a
+	// fresh epoch.
+	ws.resetSleep()
 
 	t := s.Start
 	for len(pending) > 0 {
@@ -115,12 +118,12 @@ func greedyExact(in *dynflow.Instance, opts Options, sm schedMetrics, res *Resul
 			return res, fmt.Errorf("%w: exceeded tick budget %d", ErrInfeasible, maxTicks)
 		}
 		res.TicksUsed++
-		order, cycleErr := candidateOrder(in, s, pending, t)
+		order, cycleErr := candidateOrder(in, s, pending, t, ws)
 		if cycleErr != nil {
 			res.DependencyCycles++
 			sm.cycles.Inc()
 		}
-		lc := newLoopChecker(in, s, t)
+		lc := newLoopChecker(in, s, t, ws)
 		accepted := make(map[graph.NodeID]bool)
 		for changed := true; changed; {
 			changed = false
@@ -128,7 +131,11 @@ func greedyExact(in *dynflow.Instance, opts Options, sm schedMetrics, res *Resul
 				if accepted[cand.v] {
 					continue
 				}
-				if sleepUntil[cand.v] > t || !lc.ok(cand.v) {
+				if su, _ := ws.sleepOf(cand.v); su > t {
+					sm.deferred.Inc()
+					continue
+				}
+				if !lc.ok(cand.v) {
 					sm.deferred.Inc()
 					continue
 				}
@@ -138,9 +145,9 @@ func greedyExact(in *dynflow.Instance, opts Options, sm schedMetrics, res *Resul
 				r := dynflow.Validate(in, s)
 				if !r.OK() {
 					delete(s.Times, cand.v)
-					strikes[cand.v]++
-					backoff := dynflow.Tick(1) << minUint(strikes[cand.v]-1, 7)
-					sleepUntil[cand.v] = t + backoff
+					n := ws.bumpStrike(cand.v)
+					backoff := dynflow.Tick(1) << minUint(uint(n)-1, 7)
+					ws.setSleep(cand.v, t+backoff)
 					sm.rejected.Inc()
 					continue
 				}
@@ -151,10 +158,9 @@ func greedyExact(in *dynflow.Instance, opts Options, sm schedMetrics, res *Resul
 				if opts.Trace != nil {
 					opts.Trace.Point(int64(t), "sched.accept", obs.A("switch", in.G.Name(cand.v)))
 				}
-				lc = newLoopChecker(in, s, t)
-				if len(sleepUntil) > 0 {
-					sleepUntil = make(map[graph.NodeID]dynflow.Tick)
-					strikes = make(map[graph.NodeID]uint)
+				lc = newLoopChecker(in, s, t, ws)
+				if ws.sleepCount > 0 {
+					ws.resetSleep()
 					sm.backoffResets.Inc()
 				}
 			}
@@ -187,7 +193,7 @@ func greedyExact(in *dynflow.Instance, opts Options, sm schedMetrics, res *Resul
 		next := dynflow.Tick(0)
 		found := false
 		for _, v := range pending {
-			if su, ok := sleepUntil[v]; ok && su > t {
+			if su, ok := ws.sleepOf(v); ok && su > t {
 				if !found || su < next {
 					next = su
 					found = true
@@ -246,12 +252,12 @@ func (h *wakeHeap) Pop() any {
 }
 
 // greedyFast is the event-driven fast variant.
-func greedyFast(in *dynflow.Instance, opts Options, sm schedMetrics, res *Result) (*Result, error) {
+func greedyFast(in *dynflow.Instance, opts Options, sm schedMetrics, res *Result, ws *workspace) (*Result, error) {
 	s := res.Schedule
-	fs := newFastState(in)
+	fs := newFastState(in, ws)
 	maxTicks := opts.MaxTicks
 	if maxTicks <= 0 {
-		maxTicks = fastTickBudget(in)
+		maxTicks = fastTickBudgetFrom(in, topoFactsFor(in, opts.Obs, opts.NoCache).maxDelay)
 	}
 
 	pendingCount := 0
@@ -264,7 +270,7 @@ func greedyFast(in *dynflow.Instance, opts Options, sm schedMetrics, res *Result
 	// ready holds candidates due for evaluation now; wakes holds candidates
 	// sleeping until a collision drains; parked holds candidates whose
 	// rejection only a configuration change can lift.
-	order, cycleErr := candidateOrder(in, s, in.UpdateSet(), s.Start)
+	order, cycleErr := candidateOrder(in, s, in.UpdateSet(), s.Start, ws)
 	if cycleErr != nil {
 		res.DependencyCycles++
 		sm.cycles.Inc()
@@ -275,7 +281,7 @@ func greedyFast(in *dynflow.Instance, opts Options, sm schedMetrics, res *Result
 	}
 	var wakes wakeHeap
 	var parked []graph.NodeID
-	lc := newLoopChecker(in, s, s.Start)
+	lc := newLoopChecker(in, s, s.Start, ws)
 
 	t := s.Start
 	for pendingCount > 0 {
@@ -312,7 +318,7 @@ func greedyFast(in *dynflow.Instance, opts Options, sm schedMetrics, res *Result
 			}
 			// Configuration changed: refresh the snapshot checker and give
 			// the parked candidates another chance.
-			lc = newLoopChecker(in, s, t)
+			lc = newLoopChecker(in, s, t, ws)
 			ready = append(ready, parked...)
 			parked = parked[:0]
 		}
@@ -369,18 +375,13 @@ func pendingByState(state map[graph.NodeID]int) []graph.NodeID {
 	return out
 }
 
-// fastTickBudget bounds the schedule horizon for the fast mode: a handful
-// of end-to-end drain times. Feasible schedules complete well within it
-// (every wait is bounded by the drain of some earlier redirection); an
-// update needing more is treated as infeasible, which also bounds the
-// running time on adversarial instances.
-func fastTickBudget(in *dynflow.Instance) dynflow.Tick {
-	var maxDelay graph.Delay = 1
-	for _, l := range in.G.Links() {
-		if l.Delay > maxDelay {
-			maxDelay = l.Delay
-		}
-	}
+// fastTickBudgetFrom bounds the schedule horizon for the fast mode: a
+// handful of end-to-end drain times. Feasible schedules complete well
+// within it (every wait is bounded by the drain of some earlier
+// redirection); an update needing more is treated as infeasible, which
+// also bounds the running time on adversarial instances. maxDelay is the
+// topology's maximum link delay (from the precomputation cache).
+func fastTickBudgetFrom(in *dynflow.Instance, maxDelay graph.Delay) dynflow.Tick {
 	return 8*dynflow.Tick(in.Init.Delay(in.G)+in.Fin.Delay(in.G)) + 16*dynflow.Tick(maxDelay) + 16
 }
 
@@ -393,8 +394,8 @@ type candidate struct {
 // order), then the remaining chain members. On a dependency cycle the order
 // falls back to pending sorted by ID; the error is reported so callers can
 // count the event (the paper's Algorithm 2 would abort here).
-func candidateOrder(in *dynflow.Instance, s *dynflow.Schedule, pending []graph.NodeID, t dynflow.Tick) ([]candidate, error) {
-	chains, err := DependencyChains(in, s, pending, t)
+func candidateOrder(in *dynflow.Instance, s *dynflow.Schedule, pending []graph.NodeID, t dynflow.Tick, ws *workspace) ([]candidate, error) {
+	chains, err := dependencyChains(in, s, pending, t, ws)
 	if err != nil {
 		sorted := append([]graph.NodeID(nil), pending...)
 		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })

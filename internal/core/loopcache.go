@@ -8,23 +8,24 @@ import (
 // loopChecker answers Algorithm 4 queries against a fixed configuration
 // snapshot in amortized O(1) per switch: between two accepted updates the
 // configuration does not change, so walk destinations can be memoized with
-// path compression. Greedy rebuilds the checker after every acceptance.
+// path compression. Greedy rebuilds the checker after every acceptance; the
+// rebuild is cheap because all node-indexed state lives in the pooled
+// workspace as generation-stamped arrays — a rebuild bumps two generations
+// and restamps the active path instead of reallocating.
 type loopChecker struct {
 	in  *dynflow.Instance
 	s   *dynflow.Schedule
 	t   dynflow.Tick
 	cur graph.Path
-	pos []int32 // node -> active-path index, -1 off-path
-	// resolve caches, for off-path switches, where the snapshot
-	// configuration eventually leads.
-	resolve map[graph.NodeID]resolveResult
+	ws  *workspace
 }
 
 func (lc *loopChecker) posOf(v graph.NodeID) (int, bool) {
-	if v < 0 || int(v) >= len(lc.pos) || lc.pos[v] < 0 {
+	ws := lc.ws
+	if uint64(v) >= uint64(len(ws.pos)) || ws.posStamp[v] != ws.posGen {
 		return -1, false
 	}
-	return int(lc.pos[v]), true
+	return int(ws.pos[v]), true
 }
 
 type resolveKind uint8
@@ -40,25 +41,18 @@ type resolveResult struct {
 	pos  int // active-path index for resolvePath
 }
 
-func newLoopChecker(in *dynflow.Instance, s *dynflow.Schedule, t dynflow.Tick) *loopChecker {
-	cur := activePath(in, s, t)
-	pos := make([]int32, in.G.NumNodes())
-	for i := range pos {
-		pos[i] = -1
-	}
+func newLoopChecker(in *dynflow.Instance, s *dynflow.Schedule, t dynflow.Tick, ws *workspace) *loopChecker {
+	cur := activePathInto(ws.pathA[:0], in, s, t, ws)
+	ws.pathA = cur
+	ws.posGen++
+	ws.resGen++
 	for i, u := range cur {
-		if int(u) < len(pos) {
-			pos[u] = int32(i)
+		if uint64(u) < uint64(len(ws.pos)) {
+			ws.pos[u] = int32(i)
+			ws.posStamp[u] = ws.posGen
 		}
 	}
-	return &loopChecker{
-		in:      in,
-		s:       s,
-		t:       t,
-		cur:     cur,
-		pos:     pos,
-		resolve: make(map[graph.NodeID]resolveResult),
-	}
+	return &loopChecker{in: in, s: s, t: t, cur: cur, ws: ws}
 }
 
 // ok reports whether updating v at the snapshot tick is loop-free
@@ -92,15 +86,16 @@ func (lc *loopChecker) ok(v graph.NodeID) bool {
 }
 
 // walk resolves where the snapshot configuration leads from off-path node
-// x, memoizing every node on the way.
+// x, memoizing every node on the way in the workspace's stamped arrays.
 func (lc *loopChecker) walk(x graph.NodeID) resolveResult {
-	var trail []graph.NodeID
-	visiting := make(map[graph.NodeID]bool)
+	ws := lc.ws
+	ws.walkGen++
+	trail := ws.trail[:0]
 	cur := x
 	var result resolveResult
 	for {
-		if r, ok := lc.resolve[cur]; ok {
-			result = r
+		if uint64(cur) < uint64(len(ws.resStamp)) && ws.resStamp[cur] == ws.resGen {
+			result = resolveResult{kind: ws.resKind[cur], pos: int(ws.resPos[cur])}
 			break
 		}
 		if p, ok := lc.posOf(cur); ok {
@@ -111,11 +106,13 @@ func (lc *loopChecker) walk(x graph.NodeID) resolveResult {
 			result = resolveResult{kind: resolveDest}
 			break
 		}
-		if visiting[cur] {
+		if uint64(cur) < uint64(len(ws.walkMark)) && ws.walkMark[cur] == ws.walkGen {
 			result = resolveResult{kind: resolveDead}
 			break
 		}
-		visiting[cur] = true
+		if uint64(cur) < uint64(len(ws.walkMark)) {
+			ws.walkMark[cur] = ws.walkGen
+		}
 		trail = append(trail, cur)
 		next := snapshotNext(lc.in, lc.s, cur, lc.t)
 		if next == graph.Invalid {
@@ -125,7 +122,12 @@ func (lc *loopChecker) walk(x graph.NodeID) resolveResult {
 		cur = next
 	}
 	for _, u := range trail {
-		lc.resolve[u] = result
+		if uint64(u) < uint64(len(ws.resStamp)) {
+			ws.resStamp[u] = ws.resGen
+			ws.resKind[u] = result.kind
+			ws.resPos[u] = int32(result.pos)
+		}
 	}
+	ws.trail = trail
 	return result
 }

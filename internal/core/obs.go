@@ -24,6 +24,14 @@ type schedMetrics struct {
 // implicitly; daemons call it at boot.
 func RegisterMetrics(r *obs.Registry) {
 	newSchedMetrics(r)
+	if r != nil {
+		r.Help("chronus_solver_cache_hits_total", "Solver precomputation cache hits by cache (tracer, precomp, plan).")
+		r.Help("chronus_solver_cache_misses_total", "Solver precomputation cache misses by cache (tracer, precomp, plan).")
+		r.Counter(`chronus_solver_cache_hits_total{cache="precomp"}`)
+		r.Counter(`chronus_solver_cache_misses_total{cache="precomp"}`)
+		r.Help("chronus_solver_pool_bytes", "Scratch bytes parked in the pooled solver workspace freelist.")
+		r.GaugeFunc("chronus_solver_pool_bytes", PooledBytes)
+	}
 }
 
 func newSchedMetrics(r *obs.Registry) schedMetrics {

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"sync"
+
+	"github.com/chronus-sdn/chronus/internal/dynflow"
+	"github.com/chronus-sdn/chronus/internal/graph"
+	"github.com/chronus-sdn/chronus/internal/obs"
+)
+
+// The precomputation cache holds per-topology invariants — facts derived
+// only from (topology, capacities, delays) — keyed by the graph's canonical
+// fingerprint, so repeated solves over one topology (the chronusd workload)
+// skip the per-solve link scans. Entries are tiny values, immutable after
+// insertion, bounded in count.
+
+// topoFacts are the cached per-topology invariants.
+type topoFacts struct {
+	// maxDelay is the largest link delay (at least 1), the quantity behind
+	// the automatic tick budgets of both greedy modes.
+	maxDelay graph.Delay
+}
+
+// topoCacheCap bounds the precomputation cache entry count.
+const topoCacheCap = 256
+
+var topoCache = struct {
+	sync.Mutex
+	m       map[uint64]topoFacts
+	enabled bool
+}{m: make(map[uint64]topoFacts), enabled: true}
+
+// SetPrecompCache enables or disables the per-topology precomputation
+// cache and reports the previous setting; disabling drops cached entries.
+// It exists for the cache on/off property tests.
+func SetPrecompCache(on bool) bool {
+	topoCache.Lock()
+	defer topoCache.Unlock()
+	prev := topoCache.enabled
+	topoCache.enabled = on
+	if !on {
+		topoCache.m = make(map[uint64]topoFacts)
+	}
+	return prev
+}
+
+// scanMaxDelay is the uncached fact computation: one pass over the links.
+func scanMaxDelay(in *dynflow.Instance) graph.Delay {
+	var maxDelay graph.Delay = 1
+	for _, l := range in.G.Links() {
+		if l.Delay > maxDelay {
+			maxDelay = l.Delay
+		}
+	}
+	return maxDelay
+}
+
+// topoFactsFor returns the instance's per-topology invariants, serving them
+// from the fingerprint-keyed cache unless noCache is set. Hits and misses
+// are recorded on r (which may be nil).
+func topoFactsFor(in *dynflow.Instance, r *obs.Registry, noCache bool) topoFacts {
+	if noCache {
+		return topoFacts{maxDelay: scanMaxDelay(in)}
+	}
+	fp := in.G.Fingerprint()
+	topoCache.Lock()
+	if topoCache.enabled {
+		if f, ok := topoCache.m[fp]; ok {
+			topoCache.Unlock()
+			r.Counter(`chronus_solver_cache_hits_total{cache="precomp"}`).Inc()
+			return f
+		}
+	}
+	topoCache.Unlock()
+	r.Counter(`chronus_solver_cache_misses_total{cache="precomp"}`).Inc()
+	f := topoFacts{maxDelay: scanMaxDelay(in)}
+	topoCache.Lock()
+	if topoCache.enabled {
+		if len(topoCache.m) >= topoCacheCap {
+			for k := range topoCache.m {
+				delete(topoCache.m, k)
+				break
+			}
+		}
+		topoCache.m[fp] = f
+	}
+	topoCache.Unlock()
+	return f
+}

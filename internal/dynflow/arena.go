@@ -1,0 +1,71 @@
+package dynflow
+
+import (
+	"sync"
+
+	"github.com/chronus-sdn/chronus/internal/graph"
+	"github.com/chronus-sdn/chronus/internal/obs"
+)
+
+// The skeleton cache shares tracerCore values — the immutable G_T
+// adjacency — across instances whose graphs fingerprint identically.
+// chronusd serving repeated /update requests over one topology, mutp
+// batch runs and the experiment harness all hit this: every solve after
+// the first reuses the skeleton and only allocates per-instance scratch.
+//
+// Entries are immutable after insertion, so readers never copy. The cache
+// is bounded; at capacity an arbitrary entry is evicted (the workload this
+// serves touches a handful of topologies, so any policy is as good as
+// another and the simplest one has no bookkeeping to race on).
+
+// skeletonCacheCap bounds the shared skeleton cache entry count.
+const skeletonCacheCap = 128
+
+var skelCache = struct {
+	sync.Mutex
+	m       map[uint64]*tracerCore
+	enabled bool
+}{m: make(map[uint64]*tracerCore), enabled: true}
+
+// SetSkeletonCache enables or disables cross-instance skeleton sharing
+// and reports the previous setting. Disabling also drops cached entries,
+// so tests can compare cached and uncached behaviour from a clean slate.
+func SetSkeletonCache(on bool) bool {
+	skelCache.Lock()
+	defer skelCache.Unlock()
+	prev := skelCache.enabled
+	skelCache.enabled = on
+	if !on {
+		skelCache.m = make(map[uint64]*tracerCore)
+	}
+	return prev
+}
+
+// tracerCoreFor returns a skeleton valid for g's current fingerprint,
+// serving it from the shared cache when possible. Hits and misses are
+// recorded on r (which may be nil) under the solver cache family.
+func tracerCoreFor(g *graph.Graph, fp uint64, r *obs.Registry) *tracerCore {
+	skelCache.Lock()
+	if skelCache.enabled {
+		if c, ok := skelCache.m[fp]; ok && c.nodes == g.NumNodes() && c.links == g.NumLinks() {
+			skelCache.Unlock()
+			r.Counter(`chronus_solver_cache_hits_total{cache="tracer"}`).Inc()
+			return c
+		}
+	}
+	skelCache.Unlock()
+	r.Counter(`chronus_solver_cache_misses_total{cache="tracer"}`).Inc()
+	c := newTracerCore(g, fp)
+	skelCache.Lock()
+	if skelCache.enabled {
+		if len(skelCache.m) >= skeletonCacheCap {
+			for k := range skelCache.m {
+				delete(skelCache.m, k)
+				break
+			}
+		}
+		skelCache.m[fp] = c
+	}
+	skelCache.Unlock()
+	return c
+}

@@ -4,22 +4,33 @@ import (
 	"github.com/chronus-sdn/chronus/internal/graph"
 )
 
-// tracer is the allocation-light engine behind Validate and TraceEmission:
-// adjacency resolved through dense per-node slices, per-trace visited sets
-// via stamping, and load accounting keyed by (link ordinal, departure tick)
-// packed into one integer.
-type tracer struct {
-	in *Instance
+// tracerCore is the immutable, instance-independent part of a tracer:
+// the graph's adjacency resolved into dense per-node slices with link
+// ordinals — the skeleton of the time-expanded network G_T, which depends
+// only on (topology, capacities, delays). It is never mutated after
+// construction, so one core is safely shared by every tracer (and hence
+// every concurrent solve) over graphs with the same fingerprint; see
+// tracerCoreFor in arena.go for the cross-instance cache.
+type tracerCore struct {
 	// out[v] lists v's outgoing links with their ordinals.
 	out   [][]tracerLink
 	caps  []graph.Capacity  // by ordinal
 	pairs [][2]graph.NodeID // ordinal -> (from, to)
+	// fingerprint detects graph mutations that invalidate a cached tracer.
+	nodes, links int
+	fp           uint64
+}
+
+// tracer is the allocation-light engine behind Validate and TraceEmission:
+// adjacency resolved through the shared tracerCore skeleton, per-trace
+// visited sets via stamping, and load accounting keyed by (link ordinal,
+// departure tick) packed into one integer.
+type tracer struct {
+	in *Instance
+	*tracerCore
 	// visit stamps detect revisits without a per-trace map.
 	visit []uint64
 	stamp uint64
-	// fingerprint detects graph mutations that invalidate a cached tracer.
-	nodes, links int
-	checksum     uint64
 
 	// Load accounting scratch, reused across Validate calls. When the
 	// (links × window) product is small the dense epoch-stamped array is
@@ -90,62 +101,55 @@ func (tr *tracer) loadAt(key int64) graph.Capacity {
 	return tr.loadMap[key]
 }
 
-// graphChecksum folds every link's endpoints, capacity and delay so that
-// re-weighted links invalidate a cached tracer too.
-func graphChecksum(g *graph.Graph) uint64 {
-	var h uint64 = 1469598103934665603
-	mix := func(v int64) {
-		h ^= uint64(v)
-		h *= 1099511628211
-	}
-	for i := 0; i < g.NumNodes(); i++ {
-		id := graph.NodeID(i)
-		for _, l := range g.Out(id) {
-			mix(int64(l.From))
-			mix(int64(l.To))
-			mix(int64(l.Cap))
-			mix(int64(l.Delay))
-		}
-	}
-	return h
-}
-
 type tracerLink struct {
 	to      graph.NodeID
 	delay   Tick
 	ordinal int32
 }
 
-func newTracer(in *Instance) *tracer {
-	n := in.G.NumNodes()
-	tr := &tracer{
-		in:    in,
-		out:   make([][]tracerLink, n),
-		visit: make([]uint64, n),
+// newTracerCore builds the G_T skeleton for a graph: the delay-annotated
+// adjacency with stable link ordinals, plus the fingerprint it is valid
+// for. This is the O(V+E) work the cross-instance cache hoists out of
+// repeated solves over the same topology.
+func newTracerCore(g *graph.Graph, fp uint64) *tracerCore {
+	n := g.NumNodes()
+	c := &tracerCore{
+		out: make([][]tracerLink, n),
+		fp:  fp,
 	}
 	ord := int32(0)
-	for _, id := range in.G.Nodes() {
-		for _, l := range in.G.Out(id) {
-			tr.out[id] = append(tr.out[id], tracerLink{to: l.To, delay: Tick(l.Delay), ordinal: ord})
-			tr.caps = append(tr.caps, l.Cap)
-			tr.pairs = append(tr.pairs, [2]graph.NodeID{id, l.To})
+	for _, id := range g.Nodes() {
+		for _, l := range g.Out(id) {
+			c.out[id] = append(c.out[id], tracerLink{to: l.To, delay: Tick(l.Delay), ordinal: ord})
+			c.caps = append(c.caps, l.Cap)
+			c.pairs = append(c.pairs, [2]graph.NodeID{id, l.To})
 			ord++
 		}
 	}
-	tr.nodes = in.G.NumNodes()
-	tr.links = in.G.NumLinks()
-	tr.checksum = graphChecksum(in.G)
-	return tr
+	c.nodes = n
+	c.links = g.NumLinks()
+	return c
+}
+
+func newTracer(in *Instance, core *tracerCore) *tracer {
+	return &tracer{
+		in:         in,
+		tracerCore: core,
+		visit:      make([]uint64, core.nodes),
+	}
 }
 
 // tracerFor returns the instance's cached tracer, rebuilding it when the
-// graph changed.
+// graph changed. Skeletons come from the shared fingerprint-keyed cache
+// (see arena.go), so a rebuild over a known topology reuses the adjacency
+// wholesale and only allocates fresh per-instance scratch.
 func tracerFor(in *Instance) *tracer {
+	fp := in.G.Fingerprint()
 	if in.trc != nil && in.trc.nodes == in.G.NumNodes() && in.trc.links == in.G.NumLinks() &&
-		in.trc.checksum == graphChecksum(in.G) {
+		in.trc.fp == fp {
 		return in.trc
 	}
-	in.trc = newTracer(in)
+	in.trc = newTracer(in, tracerCoreFor(in.G, fp, in.Obs))
 	return in.trc
 }
 

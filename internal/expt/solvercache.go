@@ -1,0 +1,94 @@
+package expt
+
+import (
+	"time"
+
+	"github.com/chronus-sdn/chronus/internal/core"
+	"github.com/chronus-sdn/chronus/internal/dynflow"
+	"github.com/chronus-sdn/chronus/internal/metrics"
+	"github.com/chronus-sdn/chronus/internal/scheme"
+)
+
+// SolverCachePoint measures the chronusd-shaped workload — the same
+// topology solved over and over — for one scheme: per-solve wall time
+// with every cross-solve cache bypassed (cold) versus the steady state
+// with the caches warm, and the resulting speedup.
+type SolverCachePoint struct {
+	Scheme      string
+	N           int
+	Repeats     int
+	ColdSeconds float64 // mean per-solve, caches bypassed
+	WarmSeconds float64 // mean per-solve, caches primed
+	Speedup     float64 // ColdSeconds / WarmSeconds
+}
+
+// solverCacheRepeats is how many solves each arm of the measurement
+// averages over; warm solves are cache hits and individually too fast to
+// time singly.
+const solverCacheRepeats = 20
+
+// SolverCacheBench measures the incremental solve path: for each greedy
+// scheme at the largest quality size, it solves one fixed instance
+// repeatedly with the caches bypassed and again with them warm. This is
+// the daemon's steady-state shape (one managed topology, many plan
+// requests), so the warm column is what chronusd and batch re-solves
+// actually pay. The two arms run the identical engine on the identical
+// instance; only cache state differs, so the speedup column isolates
+// the caches' contribution. Wall-clock, and therefore — like Fig. 10's
+// seconds — not byte-deterministic across runs.
+func SolverCacheBench(cfg Config) ([]SolverCachePoint, error) {
+	n := cfg.Sizes[len(cfg.Sizes)-1]
+	rng := rngFor(cfg, "solver-cache", int64(n))
+	ctx := newInstCtx(rng, instanceParams(n))
+	points := make([]SolverCachePoint, 0, 2)
+	for _, name := range []string{"chronus", "chronus-fast"} {
+		// Drop cache state left behind by whatever ran earlier in this
+		// process so the warm arm measures entries this loop populated.
+		scheme.SetPlanCache(false)
+		scheme.SetPlanCache(true)
+		core.SetPrecompCache(false)
+		core.SetPrecompCache(true)
+		dynflow.SetSkeletonCache(false)
+		dynflow.SetSkeletonCache(true)
+
+		cold, err := timeSolves(name, ctx.in, scheme.Options{BestEffort: true, NoCache: true})
+		if err != nil {
+			return nil, err
+		}
+		// Prime once, then measure steady-state hits.
+		if _, err := scheme.Solve(name, ctx.in, scheme.Options{BestEffort: true}); err != nil {
+			return nil, err
+		}
+		warm, err := timeSolves(name, ctx.in, scheme.Options{BestEffort: true})
+		if err != nil {
+			return nil, err
+		}
+		p := SolverCachePoint{Scheme: name, N: n, Repeats: solverCacheRepeats, ColdSeconds: cold, WarmSeconds: warm}
+		if warm > 0 {
+			p.Speedup = cold / warm
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+func timeSolves(name string, in *dynflow.Instance, o scheme.Options) (perSolveSeconds float64, err error) {
+	start := time.Now()
+	for i := 0; i < solverCacheRepeats; i++ {
+		if _, err := scheme.Solve(name, in, o); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start).Seconds() / solverCacheRepeats, nil
+}
+
+// SolverCacheTable renders the repeated-solve measurement.
+func SolverCacheTable(points []SolverCachePoint) *metrics.Table {
+	t := &metrics.Table{Header: []string{
+		"scheme", "switches", "repeats", "cold_ms", "warm_ms", "speedup",
+	}}
+	for _, p := range points {
+		t.AddRowf(p.Scheme, p.N, p.Repeats, p.ColdSeconds*1e3, p.WarmSeconds*1e3, p.Speedup)
+	}
+	return t
+}

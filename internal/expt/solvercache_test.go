@@ -1,0 +1,27 @@
+package expt
+
+import "testing"
+
+// TestSolverCacheBenchSpeedup is the acceptance gate for the incremental
+// solve path: on the repeated same-topology workload the warm (cached)
+// solves must be at least 2x faster per solve than the cold (bypassed)
+// ones. Warm solves are plan-cache hits — clone-and-return against a full
+// engine run — so in practice the margin is orders of magnitude; the 2x
+// floor keeps the assertion robust on loaded CI machines.
+func TestSolverCacheBenchSpeedup(t *testing.T) {
+	points, err := SolverCacheBench(Quick(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %+v, want chronus and chronus-fast", points)
+	}
+	for _, p := range points {
+		if p.ColdSeconds <= 0 || p.WarmSeconds <= 0 {
+			t.Fatalf("%s: degenerate timings: %+v", p.Scheme, p)
+		}
+		if p.Speedup < 2 {
+			t.Errorf("%s: warm/cold speedup %.1fx < 2x (cold %.3fms, warm %.3fms)", p.Scheme, p.Speedup, p.ColdSeconds*1e3, p.WarmSeconds*1e3)
+		}
+	}
+}

@@ -192,3 +192,60 @@ func TestTracerPageWhileDropping(t *testing.T) {
 		t.Errorf("drops counter %d != tracer dropped %d", drops.Value(), dropped)
 	}
 }
+
+// TestTracerPageStatsWhileDropping is the exact-accounting version of
+// the paging test: a writer floods a tiny ring while a reader pages
+// with PageStats, and every sequence number must be accounted for as
+// either seen or reported in a page's Skipped gap — no duplicates, no
+// silent losses beyond the per-page drop accounting.
+func TestTracerPageStatsWhileDropping(t *testing.T) {
+	tr := NewTracer(TracerOptions{Cap: 8, Drops: &Counter{}})
+	const total = 4000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < total; i++ {
+			tr.Point(int64(i), "tick", A("i", i))
+		}
+	}()
+	var cursor, seen, skipped uint64
+	for cursor < total {
+		ps := tr.PageStats(cursor, 3)
+		if len(ps.Events) == 0 {
+			if ps.Next != cursor {
+				t.Fatalf("empty page moved the cursor: %d -> %d", cursor, ps.Next)
+			}
+			if ps.Skipped != 0 {
+				t.Fatalf("empty page reported skipped=%d", ps.Skipped)
+			}
+			continue // writer still running; retry
+		}
+		// The gap contract: the first event of the page sits exactly
+		// Skipped+1 past the cursor, and the page itself is contiguous
+		// (the ring retains a dense sequence range).
+		if want := cursor + ps.Skipped + 1; ps.Events[0].Seq != want {
+			t.Fatalf("first seq %d != cursor %d + skipped %d + 1", ps.Events[0].Seq, cursor, ps.Skipped)
+		}
+		for i := 1; i < len(ps.Events); i++ {
+			if ps.Events[i].Seq != ps.Events[i-1].Seq+1 {
+				t.Fatalf("page not contiguous: %d after %d", ps.Events[i].Seq, ps.Events[i-1].Seq)
+			}
+		}
+		if ps.Next != ps.Events[len(ps.Events)-1].Seq {
+			t.Fatalf("next %d != last seq %d", ps.Next, ps.Events[len(ps.Events)-1].Seq)
+		}
+		seen += uint64(len(ps.Events))
+		skipped += ps.Skipped
+		cursor = ps.Next
+	}
+	wg.Wait()
+	// Every sequence number in [1, cursor] was either delivered or
+	// reported skipped — exactly once each.
+	if seen+skipped != cursor {
+		t.Fatalf("seen %d + skipped %d != final cursor %d: sequence numbers duplicated or silently lost", seen, skipped, cursor)
+	}
+	if d := tr.Dropped(); skipped > d {
+		t.Fatalf("reported skipped %d exceeds total drops %d", skipped, d)
+	}
+}

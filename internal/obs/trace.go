@@ -153,11 +153,53 @@ func (t *Tracer) Events(since uint64) []Event {
 // limit <= 0 means no bound. It is the building block of paged trace
 // endpoints such as chronusd's /trace?limit=.
 func (t *Tracer) Page(since uint64, limit int) ([]Event, uint64) {
+	ps := t.PageStats(since, limit)
+	return ps.Events, ps.Next
+}
+
+// PageStats is one atomic page read from the ring: the events, the
+// resume cursor, and the eviction accounting taken under the same lock
+// so all four numbers describe the same instant. Reading Dropped() in
+// a separate call can disagree with the page it is reported next to
+// when writers race the reader between the two lock acquisitions.
+type PageStats struct {
+	// Events are up to limit retained events with Seq > since, oldest
+	// first.
+	Events []Event
+	// Next is the cursor to pass as since on the next call: the Seq of
+	// the last returned event, or since itself when nothing qualified.
+	Next uint64
+	// Skipped counts the events with Seq > since that the ring evicted
+	// before this read could return them — the exact gap between the
+	// caller's cursor and the first event of this page. A paging client
+	// that sums Skipped across pages accounts for every sequence number
+	// it never saw; without it the only signal is the global Dropped
+	// total, which also counts evictions of events the client DID see
+	// on earlier pages.
+	Skipped uint64
+	// Dropped is the ring's total eviction count at the moment of the
+	// read.
+	Dropped uint64
+}
+
+// PageStats returns up to limit retained events with Seq > since plus
+// cursor and eviction accounting captured atomically; see the PageStats
+// type for the field contracts. A limit <= 0 means no bound.
+func (t *Tracer) PageStats(since uint64, limit int) PageStats {
 	if t == nil {
-		return nil, since
+		return PageStats{Next: since}
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	ps := PageStats{Next: since, Dropped: t.dropped}
+	if t.count > 0 {
+		// Sequence numbers are dense, so the retained ring always holds
+		// the contiguous range [seq-count+1, seq]; anything between the
+		// cursor and that range's start was evicted unseen.
+		if oldest := t.seq - uint64(t.count) + 1; since+1 < oldest {
+			ps.Skipped = oldest - since - 1
+		}
+	}
 	out := make([]Event, 0, t.count)
 	for i := 0; i < t.count; i++ {
 		e := t.events[(t.head+i)%len(t.events)]
@@ -169,11 +211,11 @@ func (t *Tracer) Page(since uint64, limit int) ([]Event, uint64) {
 			break
 		}
 	}
-	next := since
+	ps.Events = out
 	if len(out) > 0 {
-		next = out[len(out)-1].Seq
+		ps.Next = out[len(out)-1].Seq
 	}
-	return out, next
+	return ps
 }
 
 // WriteJSONL writes the retained events with Seq > since as one JSON

@@ -40,19 +40,30 @@ func (g greedyScheme) Solve(in *dynflow.Instance, o Options) (*Result, error) {
 		BestEffort: o.BestEffort,
 		Obs:        o.Obs,
 		Trace:      o.Trace,
+		NoCache:    o.NoCache,
 	})
 	if err != nil {
 		return nil, err
 	}
+	diag := Diagnostics{
+		"ticks_used":        int64(res.TicksUsed),
+		"validations":       int64(res.Validations),
+		"dependency_cycles": int64(res.DependencyCycles),
+	}
+	// The greedy engines honor only MaxTicks; flag the budget knobs the
+	// caller set that had no effect, so a timeout on chronus/chronus-fast
+	// is visibly ignored instead of silently dropped.
+	if o.Budget.Timeout > 0 {
+		diag["budget_knob_ignored:timeout"] = 1
+	}
+	if o.Budget.MaxNodes > 0 {
+		diag["budget_knob_ignored:max_nodes"] = 1
+	}
 	return &Result{
-		Schedule:   res.Schedule,
-		Report:     res.Report,
-		BestEffort: res.BestEffort,
-		Diagnostics: Diagnostics{
-			"ticks_used":        int64(res.TicksUsed),
-			"validations":       int64(res.Validations),
-			"dependency_cycles": int64(res.DependencyCycles),
-		},
+		Schedule:    res.Schedule,
+		Report:      res.Report,
+		BestEffort:  res.BestEffort,
+		Diagnostics: diag,
 	}, nil
 }
 

@@ -1,0 +1,177 @@
+package scheme
+
+import (
+	"sync"
+
+	"github.com/chronus-sdn/chronus/internal/dynflow"
+	"github.com/chronus-sdn/chronus/internal/graph"
+)
+
+// The plan cache memoizes whole successful solves across requests: two
+// solves with the same scheme, the same canonical instance fingerprint
+// (topology, capacities, delays, demand, migration pair) and the same
+// result-relevant options are the same computation, so the second one is
+// served as a deep clone of the first — the dominant cost of the repeated
+// same-topology workload (chronusd-style continuous churn, batch reruns,
+// the bench harness) drops to a map lookup plus a copy.
+//
+// A solve is cacheable only when its outcome is a pure function of the
+// key:
+//
+//   - Budget.Timeout must be zero — a wall-clock bound makes the result
+//     depend on machine speed, and serving a cached result would mask it;
+//   - Trace must be nil — a traced solve's value is its decision stream,
+//     which only an actual engine run produces;
+//   - errors are never cached — infeasibility is cheap to re-prove
+//     relative to its rarity, and transient conditions must not stick.
+//
+// Results are deep-cloned on the way in and on every hit, so callers may
+// mutate what they receive (schedulers shift activation times in place)
+// without corrupting the cache. Hits add a "plan_cache_hit" diagnostic;
+// Schedule and Report are byte-identical to an uncached solve.
+
+// planKey is the canonical identity of a cacheable solve.
+type planKey struct {
+	scheme     string
+	graphFP    uint64
+	demand     graph.Capacity
+	initFP     uint64
+	finFP      uint64
+	start      dynflow.Tick
+	maxNodes   int
+	maxTicks   dynflow.Tick
+	bestEffort bool
+}
+
+// planCacheCap bounds the plan cache entry count.
+const planCacheCap = 256
+
+var planCache = struct {
+	sync.Mutex
+	m       map[planKey]*Result
+	enabled bool
+}{m: make(map[planKey]*Result), enabled: true}
+
+// SetPlanCache enables or disables the cross-request plan cache and
+// reports the previous setting; disabling drops cached entries. It exists
+// for the cache on/off property tests and operational escape hatches.
+func SetPlanCache(on bool) bool {
+	planCache.Lock()
+	defer planCache.Unlock()
+	prev := planCache.enabled
+	planCache.enabled = on
+	if !on {
+		planCache.m = make(map[planKey]*Result)
+	}
+	return prev
+}
+
+// planCacheable reports whether a solve's outcome is a pure function of
+// its plan key under the given options.
+func planCacheable(o Options) bool {
+	return !o.NoCache && o.Budget.Timeout == 0 && o.Trace == nil
+}
+
+// planKeyFor derives the solve's canonical identity.
+func planKeyFor(name string, in *dynflow.Instance, o Options) planKey {
+	return planKey{
+		scheme:     name,
+		graphFP:    in.G.Fingerprint(),
+		demand:     in.Demand,
+		initFP:     graph.PathFingerprint(in.Init),
+		finFP:      graph.PathFingerprint(in.Fin),
+		start:      o.Start,
+		maxNodes:   o.Budget.MaxNodes,
+		maxTicks:   o.Budget.MaxTicks,
+		bestEffort: o.BestEffort,
+	}
+}
+
+// planLookup returns a private clone of the cached result for key.
+func planLookup(key planKey) (*Result, bool) {
+	planCache.Lock()
+	res, ok := planCache.m[key]
+	planCache.Unlock()
+	if !ok || res == nil {
+		return nil, false
+	}
+	out := cloneResult(res)
+	if out.Diagnostics == nil {
+		out.Diagnostics = Diagnostics{}
+	}
+	out.Diagnostics["plan_cache_hit"] = 1
+	return out, true
+}
+
+// planStore parks a private clone of res under key.
+func planStore(key planKey, res *Result) {
+	if res == nil {
+		return
+	}
+	clone := cloneResult(res)
+	planCache.Lock()
+	if planCache.enabled {
+		if len(planCache.m) >= planCacheCap {
+			for k := range planCache.m {
+				delete(planCache.m, k)
+				break
+			}
+		}
+		planCache.m[key] = clone
+	}
+	planCache.Unlock()
+}
+
+// cloneResult deep-copies a result so cache and caller never share
+// mutable state.
+func cloneResult(r *Result) *Result {
+	out := &Result{Exact: r.Exact, BestEffort: r.BestEffort}
+	if r.Schedule != nil {
+		out.Schedule = r.Schedule.Clone()
+	}
+	if r.Rounds != nil {
+		out.Rounds = make([][]graph.NodeID, len(r.Rounds))
+		for i, round := range r.Rounds {
+			out.Rounds[i] = append([]graph.NodeID(nil), round...)
+		}
+	}
+	out.Report = cloneReport(r.Report)
+	if r.Feasible != nil {
+		f := *r.Feasible
+		out.Feasible = &f
+	}
+	if r.Diagnostics != nil {
+		out.Diagnostics = make(Diagnostics, len(r.Diagnostics))
+		for k, v := range r.Diagnostics {
+			out.Diagnostics[k] = v
+		}
+	}
+	return out
+}
+
+func cloneReport(r *dynflow.Report) *dynflow.Report {
+	if r == nil {
+		return nil
+	}
+	out := &dynflow.Report{
+		WindowStart:   r.WindowStart,
+		WindowEnd:     r.WindowEnd,
+		LatestArrival: r.LatestArrival,
+	}
+	if r.Congestion != nil {
+		out.Congestion = append([]dynflow.CongestionEvent(nil), r.Congestion...)
+	}
+	if r.Loops != nil {
+		out.Loops = append([]dynflow.LoopEvent(nil), r.Loops...)
+	}
+	if r.Blackholes != nil {
+		out.Blackholes = append([]dynflow.BlackholeEvent(nil), r.Blackholes...)
+	}
+	if r.Loads != nil {
+		out.Loads = make(map[dynflow.LinkInstance]graph.Capacity, len(r.Loads))
+		for k, v := range r.Loads {
+			out.Loads[k] = v
+		}
+	}
+	return out
+}

@@ -1,0 +1,275 @@
+package scheme
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/chronus-sdn/chronus/internal/core"
+	"github.com/chronus-sdn/chronus/internal/dynflow"
+	"github.com/chronus-sdn/chronus/internal/obs"
+	"github.com/chronus-sdn/chronus/internal/topo"
+)
+
+// flushCaches drops every cross-solve cache (plan, precomp, tracer
+// skeleton) and leaves them enabled, so each test starts cold regardless
+// of what ran before it in the package.
+func flushCaches() {
+	SetPlanCache(false)
+	SetPlanCache(true)
+	core.SetPrecompCache(false)
+	core.SetPrecompCache(true)
+	dynflow.SetSkeletonCache(false)
+	dynflow.SetSkeletonCache(true)
+}
+
+// disableCaches turns every cross-solve cache off; the returned restore
+// re-enables them from a clean slate.
+func disableCaches() (restore func()) {
+	SetPlanCache(false)
+	core.SetPrecompCache(false)
+	dynflow.SetSkeletonCache(false)
+	return func() { flushCaches() }
+}
+
+// canonical renders the result fields the byte-identity guarantee covers.
+// Diagnostics are deliberately excluded: a hit adds "plan_cache_hit".
+// Report.Loads (struct-keyed, not JSON-encodable) is rendered separately
+// in sorted order.
+func canonical(t *testing.T, res *Result) string {
+	t.Helper()
+	var loads string
+	if res.Report != nil && res.Report.Loads != nil {
+		keys := make([]dynflow.LinkInstance, 0, len(res.Report.Loads))
+		for k := range res.Report.Loads {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			a, b := keys[i], keys[j]
+			if a.From != b.From {
+				return a.From < b.From
+			}
+			if a.To != b.To {
+				return a.To < b.To
+			}
+			return a.Depart < b.Depart
+		})
+		for _, k := range keys {
+			loads += fmt.Sprintf("%v=%d;", k, res.Report.Loads[k])
+		}
+	}
+	// Shadow of dynflow.Report without the struct-keyed Loads map (whose
+	// type encoding/json rejects even when nil).
+	type reportShadow struct {
+		Congestion []dynflow.CongestionEvent
+		Loops      []dynflow.LoopEvent
+		Blackholes []dynflow.BlackholeEvent
+		WindowStart, WindowEnd, LatestArrival dynflow.Tick
+	}
+	var report *reportShadow
+	if r := res.Report; r != nil {
+		report = &reportShadow{r.Congestion, r.Loops, r.Blackholes, r.WindowStart, r.WindowEnd, r.LatestArrival}
+	}
+	b, err := json.Marshal(struct {
+		Schedule   *dynflow.Schedule
+		Rounds     interface{}
+		Report     *reportShadow
+		Loads      string
+		Exact      bool
+		BestEffort bool
+		Feasible   *bool
+	}{res.Schedule, res.Rounds, report, loads, res.Exact, res.BestEffort, res.Feasible})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestPlanCacheByteIdenticalSchedules is the cache correctness property:
+// for every registered scheme, at n∈{8,16}, the Schedule/Report (and every
+// other result field) must be byte-identical with the caches disabled, on
+// the miss that populates them, and on the hit served from them.
+func TestPlanCacheByteIdenticalSchedules(t *testing.T) {
+	defer flushCaches()
+	for _, n := range []int{8, 16} {
+		rng := rand.New(rand.NewSource(6000 + int64(n)))
+		for trial := 0; trial < 8; trial++ {
+			in := topo.RandomInstance(rng, topo.DefaultRandomParams(n))
+			for _, name := range Names() {
+				o := Options{Budget: Budget{MaxNodes: 3000}}
+
+				restore := disableCaches()
+				resOff, errOff := Solve(name, in, o)
+				restore()
+
+				resMiss, errMiss := Solve(name, in, o)
+				resHit, errHit := Solve(name, in, o)
+
+				if (errOff == nil) != (errMiss == nil) || (errOff == nil) != (errHit == nil) {
+					t.Fatalf("n=%d trial=%d %s: error drift: off=%v miss=%v hit=%v", n, trial, name, errOff, errMiss, errHit)
+				}
+				if errOff != nil {
+					if !errors.Is(errOff, ErrInfeasible) && !errors.Is(errOff, ErrUnsupported) {
+						t.Fatalf("n=%d trial=%d %s: %v", n, trial, name, errOff)
+					}
+					continue
+				}
+				want := canonical(t, resOff)
+				if got := canonical(t, resMiss); got != want {
+					t.Fatalf("n=%d trial=%d %s: cache-off and cache-miss results differ:\noff:  %s\nmiss: %s", n, trial, name, want, got)
+				}
+				if got := canonical(t, resHit); got != want {
+					t.Fatalf("n=%d trial=%d %s: cache-off and cache-hit results differ:\noff: %s\nhit: %s", n, trial, name, want, got)
+				}
+				if resHit.Diagnostics["plan_cache_hit"] != 1 {
+					t.Fatalf("n=%d trial=%d %s: second solve was not a plan-cache hit: %v", n, trial, name, resHit.Diagnostics)
+				}
+			}
+		}
+	}
+}
+
+// TestPlanCacheInvalidationOnTopologyEdit: editing a link's capacity or
+// delay changes the canonical fingerprint, so the next solve must miss.
+func TestPlanCacheInvalidationOnTopologyEdit(t *testing.T) {
+	defer flushCaches()
+	flushCaches()
+	reg := obs.NewRegistry()
+	in := topo.Fig1Example()
+	o := Options{Obs: reg}
+	hits := reg.Counter(`chronus_solver_cache_hits_total{cache="plan"}`)
+	misses := reg.Counter(`chronus_solver_cache_misses_total{cache="plan"}`)
+
+	if _, err := Solve("chronus", in, o); err != nil {
+		t.Fatal(err)
+	}
+	if h, m := hits.Value(), misses.Value(); h != 0 || m != 1 {
+		t.Fatalf("cold solve: hits=%d misses=%d, want 0/1", h, m)
+	}
+	if _, err := Solve("chronus", in, o); err != nil {
+		t.Fatal(err)
+	}
+	if h, m := hits.Value(), misses.Value(); h != 1 || m != 1 {
+		t.Fatalf("repeat solve: hits=%d misses=%d, want 1/1", h, m)
+	}
+
+	// A capacity edit must invalidate (fingerprints cover capacities).
+	l := in.G.Links()[0]
+	if err := in.G.SetCapacity(l.From, l.To, l.Cap+1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Solve("chronus", in, o); err != nil {
+		t.Fatal(err)
+	}
+	if h, m := hits.Value(), misses.Value(); h != 1 || m != 2 {
+		t.Fatalf("post-capacity-edit solve: hits=%d misses=%d, want 1/2", h, m)
+	}
+
+	// A delay edit must invalidate too.
+	if err := in.G.SetDelay(l.From, l.To, l.Delay+1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Solve("chronus", in, o); err != nil {
+		t.Fatal(err)
+	}
+	if h, m := hits.Value(), misses.Value(); h != 1 || m != 3 {
+		t.Fatalf("post-delay-edit solve: hits=%d misses=%d, want 1/3", h, m)
+	}
+}
+
+// TestPlanCacheBypasses: solves whose outcome is not a pure function of
+// the plan key — wall-clock budgets, traced solves, NoCache — must run
+// the engine every time.
+func TestPlanCacheBypasses(t *testing.T) {
+	defer flushCaches()
+	flushCaches()
+	in := topo.Fig1Example()
+
+	for _, tc := range []struct {
+		name string
+		o    Options
+	}{
+		{"timeout", Options{Budget: Budget{Timeout: time.Second}}},
+		{"trace", Options{Trace: obs.NewTracer(obs.TracerOptions{Cap: 64})}},
+		{"nocache", Options{NoCache: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			for i := 0; i < 2; i++ {
+				res, err := Solve("chronus", in, tc.o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Diagnostics["plan_cache_hit"] != 0 {
+					t.Fatalf("solve %d with %s set was served from the plan cache", i, tc.name)
+				}
+			}
+		})
+	}
+}
+
+// TestGreedyBudgetKnobIgnoredDiagnostics: the greedy engines honor only
+// Budget.MaxTicks; setting Timeout or MaxNodes on chronus/chronus-fast
+// must be flagged in Diagnostics instead of silently dropped.
+func TestGreedyBudgetKnobIgnoredDiagnostics(t *testing.T) {
+	in := topo.Fig1Example()
+	for _, name := range []string{"chronus", "chronus-fast"} {
+		res, err := Solve(name, in, Options{Budget: Budget{Timeout: time.Second, MaxNodes: 5}})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Diagnostics["budget_knob_ignored:timeout"] != 1 {
+			t.Errorf("%s: timeout not flagged as ignored: %v", name, res.Diagnostics)
+		}
+		if res.Diagnostics["budget_knob_ignored:max_nodes"] != 1 {
+			t.Errorf("%s: max_nodes not flagged as ignored: %v", name, res.Diagnostics)
+		}
+
+		res, err = Solve(name, in, Options{Budget: Budget{MaxTicks: 1000}, NoCache: true})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, k := range []string{"budget_knob_ignored:timeout", "budget_knob_ignored:max_nodes"} {
+			if _, present := res.Diagnostics[k]; present {
+				t.Errorf("%s: %s flagged although the knob was unset", name, k)
+			}
+		}
+	}
+}
+
+// TestCacheConcurrentPooledSolves drives concurrent solves that share the
+// skeleton, precomp and plan caches plus the pooled workspaces; it exists
+// to be run under -race (the CI pins `go test -run Cache -race -count=2`).
+func TestCacheConcurrentPooledSolves(t *testing.T) {
+	defer flushCaches()
+	flushCaches()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		// Paired goroutines (g/2) build identical instances, so cache
+		// entries are genuinely shared across goroutines.
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(7000 + seed))
+			for trial := 0; trial < 6; trial++ {
+				in := topo.RandomInstance(rng, topo.DefaultRandomParams(12))
+				for _, name := range []string{"chronus", "chronus-fast"} {
+					res, err := Solve(name, in, Options{})
+					if err != nil && !errors.Is(err, ErrInfeasible) {
+						t.Errorf("%s: %v", name, err)
+						return
+					}
+					if err == nil && res.Schedule == nil {
+						t.Errorf("%s: no schedule", name)
+						return
+					}
+				}
+			}
+		}(int64(g / 2))
+	}
+	wg.Wait()
+}
