@@ -1,0 +1,7 @@
+//go:build !unix
+
+package main
+
+// processCPUNs has no portable implementation off unix; cost reports
+// carry cpu_ns = 0 there and every other meter still works.
+func processCPUNs() int64 { return 0 }

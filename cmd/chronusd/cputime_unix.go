@@ -1,0 +1,16 @@
+//go:build unix
+
+package main
+
+import "syscall"
+
+// processCPUNs returns the process's cumulative CPU time (user +
+// system) in nanoseconds. The daemon executes one update at a time, so
+// the delta across an update handler is that update's CPU cost.
+func processCPUNs() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return ru.Utime.Nano() + ru.Stime.Nano()
+}

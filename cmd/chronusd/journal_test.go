@@ -1,0 +1,160 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	chronus "github.com/chronus-sdn/chronus"
+	"github.com/chronus-sdn/chronus/internal/audit"
+	"github.com/chronus-sdn/chronus/internal/journal"
+)
+
+// TestDaemonJournalRetainsEvictedEvents runs an update through a daemon
+// whose trace ring is far too small to hold it: the ring must evict,
+// the journal must not. Every sequence number the ring dropped is still
+// on disk, in order, and the journal's own accounting is exposed on
+// /metrics.
+func TestDaemonJournalRetainsEvictedEvents(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts := newTestServerOpts(t, serverOptions{
+		Seed: 1, Virtual: true, Wall: false,
+		TraceCap: 32, JournalDir: dir, JournalSegmentBytes: 2048,
+	})
+	resp, result := postJSON(t, ts.URL+"/update", `{"method": "chronus"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("update: %s (%v)", resp.Status, result)
+	}
+	dropped := srv.tracer.Dropped()
+	if dropped == 0 {
+		t.Fatal("TraceCap 32 did not force ring eviction; the test is vacuous")
+	}
+	if err := srv.journal.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	events, stats, err := journal.ReadAll(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	retained := srv.tracer.Events(0)
+	if want := len(retained) + int(dropped); len(events) != want {
+		t.Fatalf("journal holds %d events, want %d (%d retained + %d evicted)",
+			len(events), want, len(retained), dropped)
+	}
+	for i, e := range events {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("journal event %d has seq %d, want %d (gap or reorder)", i, e.Seq, i+1)
+		}
+	}
+	if stats.Segments < 2 {
+		t.Errorf("2 KiB segments held %d events in %d segment(s), want rotation", len(events), stats.Segments)
+	}
+
+	r, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(r.Body)
+	r.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"chronus_journal_appended_total",
+		"chronus_journal_dropped_total 0",
+		"chronus_journal_bytes",
+		"chronus_journal_segments",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// A /watch subscriber from zero on this same daemon must see every
+	// sequence number from 1 — the evicted range backfilled from the
+	// journal — with no gap frame.
+	last := srv.tracer.PageStats(0, 0).Next
+	c := dialWatch(t, ts.URL+"/watch", nil)
+	want := uint64(1)
+	for _, f := range c.collect(t, last) {
+		if f.event == "gap" {
+			t.Fatalf("gap frame despite journal backfill: %+v", f)
+		}
+		if f.id != want {
+			t.Fatalf("frame ids not contiguous across the backfill: got %d, want %d", f.id, want)
+		}
+		want++
+	}
+}
+
+// TestDaemonJournalReplayMatchesLiveEndpoints is the durability
+// contract: a journal captured from a live run, replayed offline, must
+// reproduce the /audit report and the /spans forest byte for byte (the
+// daemon runs in deterministic virtual mode, so both are pure functions
+// of the event stream).
+func TestDaemonJournalReplayMatchesLiveEndpoints(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts := newTestServerOpts(t, serverOptions{
+		Seed: 1, Virtual: true, Wall: false,
+		JournalDir: dir, JournalSegmentBytes: 4096,
+	})
+	resp, result := postJSON(t, ts.URL+"/update", `{"method": "chronus"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("update: %s (%v)", resp.Status, result)
+	}
+	liveAudit := getBody(t, ts.URL+"/audit")
+	liveSpans := getBody(t, ts.URL+"/spans")
+
+	if err := srv.journal.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	events, stats, err := journal.ReadAll(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Warnings) > 0 {
+		t.Fatalf("clean journal produced warnings: %v", stats.Warnings)
+	}
+	if len(events) == 0 {
+		t.Fatal("journal is empty")
+	}
+
+	a := audit.New()
+	a.Feed(events...)
+	rec := httptest.NewRecorder()
+	writeJSON(rec, http.StatusOK, a.Report())
+	if got := rec.Body.String(); got != liveAudit {
+		t.Errorf("offline audit of the journal != live /audit:\n--- journal ---\n%s\n--- live ---\n%s", got, liveAudit)
+	}
+
+	rec = httptest.NewRecorder()
+	writeJSON(rec, http.StatusOK, map[string]any{
+		"spans":   chronus.BuildSpanForest(events),
+		"next":    events[len(events)-1].Seq,
+		"skipped": 0,
+		"dropped": 0,
+	})
+	if got := rec.Body.String(); got != liveSpans {
+		t.Errorf("span forest from the journal != live /spans:\n--- journal ---\n%s\n--- live ---\n%s", got, liveSpans)
+	}
+}
+
+func getBody(t *testing.T, url string) string {
+	t.Helper()
+	r, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s\n%s", url, r.Status, body)
+	}
+	return string(body)
+}

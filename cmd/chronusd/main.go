@@ -20,6 +20,8 @@
 //	GET  /dash                       self-contained HTML dashboard over /health and /spans
 //	GET  /audit                      consistency-audit report over the recorded trace
 //	GET  /schemes                    registered scheduler names and accepted update methods
+//	GET  /watch                      live SSE stream of trace events, resumable by cursor
+//	GET  /updates/{id}               per-update cost report by root span id
 //	POST /advance  {"ticks": 100}    advance virtual time
 //	POST /update   {"method": "chronus"}   any registered scheme, or "tp"
 //
@@ -43,6 +45,7 @@ import (
 	"time"
 
 	"github.com/chronus-sdn/chronus/internal/buildinfo"
+	"github.com/chronus-sdn/chronus/internal/journal"
 	"github.com/chronus-sdn/chronus/internal/ofp"
 	"github.com/chronus-sdn/chronus/internal/switchd"
 )
@@ -52,6 +55,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed for control latency and clock ensemble")
 	debugAddr := flag.String("debug-addr", "", "listen address for pprof and expvar (empty disables)")
 	virtual := flag.Bool("virtual", false, "run switch agents in-process over virtual sessions instead of TCP (deterministic)")
+	journalDir := flag.String("journal-dir", "", "directory for the durable trace journal (empty disables)")
+	journalFsync := flag.String("journal-fsync", "rotate", "journal fsync policy: rotate, never, always")
 	logLevel := flag.String("log-level", "info", "slog level: debug, info, warn, error")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
@@ -68,7 +73,15 @@ func main() {
 	}
 	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
 
-	srv, err := newServer(serverOptions{Seed: *seed, Virtual: *virtual, Wall: true, Log: log})
+	fsync, err := journal.ParseFsync(*journalFsync)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chronusd:", err)
+		os.Exit(1)
+	}
+	srv, err := newServer(serverOptions{
+		Seed: *seed, Virtual: *virtual, Wall: true, Log: log,
+		JournalDir: *journalDir, JournalFsync: fsync,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chronusd:", err)
 		os.Exit(1)

@@ -18,6 +18,7 @@ import (
 	"github.com/chronus-sdn/chronus/internal/audit"
 	"github.com/chronus-sdn/chronus/internal/buildinfo"
 	"github.com/chronus-sdn/chronus/internal/health"
+	"github.com/chronus-sdn/chronus/internal/journal"
 	"github.com/chronus-sdn/chronus/internal/obs"
 	"github.com/chronus-sdn/chronus/internal/ofp"
 )
@@ -40,26 +41,38 @@ type serverOptions struct {
 	// TraceCap bounds the tracer ring (0 = the tracer's default). Tests
 	// use tiny rings to exercise paging under eviction.
 	TraceCap int
+	// JournalDir, when set, attaches a durable journal to the tracer:
+	// every trace event is appended to size-rotated JSONL segments in
+	// this directory, surviving ring eviction and daemon crashes.
+	JournalDir string
+	// JournalFsync is the journal durability policy (rotate, never,
+	// always; see internal/journal).
+	JournalFsync journal.Fsync
+	// JournalSegmentBytes overrides the journal segment rotation size
+	// (0 = the journal's default). Tests use tiny segments.
+	JournalSegmentBytes int64
 }
 
 // server holds the daemon's state: the emulated network, its switch agents
 // (reachable over TCP, or in-process in virtual mode), the controller, and
 // the flow being managed.
 type server struct {
-	in     *chronus.Instance
-	tb     *chronus.Testbed
-	ctl    *chronus.Controller
-	clock  *chronus.ClockEnsemble
-	flow   chronus.FlowSpec
-	reg    *chronus.MetricsRegistry
-	tracer *chronus.Tracer
-	meter  *ofp.ConnMeter
-	health *health.Engine
-	log    *slog.Logger
+	in      *chronus.Instance
+	tb      *chronus.Testbed
+	ctl     *chronus.Controller
+	clock   *chronus.ClockEnsemble
+	flow    chronus.FlowSpec
+	reg     *chronus.MetricsRegistry
+	tracer  *chronus.Tracer
+	meter   *ofp.ConnMeter
+	health  *health.Engine
+	journal *journal.Writer
+	log     *slog.Logger
 
 	virtual bool
 	mu      sync.Mutex
 	updated bool
+	costs   map[uint64]*updateCost
 
 	listeners []net.Listener
 	conns     []*ofp.Conn
@@ -78,14 +91,33 @@ func newServer(o serverOptions) (*server, error) {
 	buildinfo.Register(reg)
 	obs.RegisterRuntimeMetrics(reg)
 	reg.Help("chronus_trace_dropped_events_total", "Trace events evicted from the tracer ring buffer.")
+	journal.RegisterMetrics(reg)
 	var wall func() int64
 	if o.Wall {
 		wall = func() int64 { return time.Now().UnixNano() }
+	}
+	var jw *journal.Writer
+	if o.JournalDir != "" {
+		var err error
+		jw, err = journal.Open(journal.Options{
+			Dir:          o.JournalDir,
+			SegmentBytes: o.JournalSegmentBytes,
+			Fsync:        o.JournalFsync,
+			Obs:          reg,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("journal: %w", err)
+		}
+	}
+	var sink obs.Sink
+	if jw != nil {
+		sink = jw
 	}
 	tracer := chronus.NewTracer(chronus.TracerOptions{
 		Wall:  wall,
 		Cap:   o.TraceCap,
 		Drops: reg.Counter("chronus_trace_dropped_events_total"),
+		Sink:  sink,
 	})
 	in.Obs = reg
 	srv := &server{
@@ -98,9 +130,12 @@ func newServer(o serverOptions) (*server, error) {
 		tracer:  tracer,
 		meter:   ofp.NewConnMeter(reg),
 		health:  health.New(reg),
+		journal: jw,
 		log:     o.Log,
 		virtual: o.Virtual,
+		costs:   make(map[uint64]*updateCost),
 	}
+	srv.registerStageMetrics()
 	tb.Net.SetObs(reg, tracer)
 	if o.Virtual {
 		srv.ctl.AttachAll(srv.clock)
@@ -123,13 +158,19 @@ func (s *server) agentCount() int {
 	return len(s.conns)
 }
 
-// Close shuts the TCP plumbing down.
+// Close shuts the TCP plumbing down and settles the journal (drain,
+// sync, close the open segment).
 func (s *server) Close() {
 	for _, c := range s.conns {
 		c.Close()
 	}
 	for _, ln := range s.listeners {
 		ln.Close()
+	}
+	if s.journal != nil {
+		if err := s.journal.Close(); err != nil {
+			s.log.Error("journal close", "err", err)
+		}
 	}
 }
 
@@ -151,6 +192,8 @@ func (s *server) handler() http.Handler {
 		"GET /audit":                 s.handleAudit,
 		"GET /schemes":               s.handleSchemes,
 		"GET /dash":                  s.handleDash,
+		"GET /watch":                 s.handleWatch,
+		"GET /updates/{id}":          s.handleUpdates,
 		"POST /advance":              s.handleAdvance,
 		"POST /update":               s.handleUpdate,
 	}
@@ -191,6 +234,10 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.status = code
 	r.ResponseWriter.WriteHeader(code)
 }
+
+// Unwrap lets http.ResponseController reach the underlying writer's
+// Flush (the /watch stream needs it through the logging wrapper).
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
 
 // handleSpans returns the causal span forest reconstructed from the
 // trace ring. ?since= and ?limit= page through the underlying events
@@ -437,6 +484,7 @@ func (s *server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	arrived := time.Now()
 	var req struct {
 		Method string `json:"method"`
 	}
@@ -453,7 +501,17 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	s.updated = true
 	s.mu.Unlock()
 
-	if err := s.executeUpdate(strings.ToLower(req.Method)); err != nil {
+	method := strings.ToLower(req.Method)
+	if method == "" {
+		method = "chronus"
+	}
+	// The meter brackets the whole update — execution AND the settling
+	// advance below, where time-triggered activations actually fire — so
+	// the stage breakdown sees the complete span tree.
+	meter := s.beginCost(arrived)
+	root, err := s.executeUpdate(method)
+	if err != nil {
+		s.endCost(meter, root, method, "error")
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
@@ -465,8 +523,10 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 			drops += s.tb.Net.Switch(id).Dropped()
 		}
 	})
+	s.endCost(meter, root, method, "ok")
 	writeJSON(w, http.StatusOK, map[string]any{
 		"method":          req.Method,
+		"span":            uint64(root),
 		"now":             s.tb.Now(),
 		"congested_links": s.tb.Net.CongestedLinks(),
 		"overload_ticks":  s.tb.Net.TotalOverloadTicks(),
@@ -476,11 +536,9 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 
 // executeUpdate wraps the whole update — solve, plan, execution — in
 // one root span and logs the outcome; see executePlanned for the
-// actual dispatch.
-func (s *server) executeUpdate(method string) error {
-	if method == "" {
-		method = "chronus"
-	}
+// actual dispatch. Returns the root span id (the key the update's cost
+// report is filed under).
+func (s *server) executeUpdate(method string) (chronus.SpanID, error) {
 	root := s.tracer.StartSpan(int64(s.tb.Now()), "update", 0, obs.A("method", method))
 	s.ctl.SetSpan(root.SpanID())
 	err := s.executePlanned(method, root.SpanID())
@@ -495,7 +553,7 @@ func (s *server) executeUpdate(method string) error {
 	} else {
 		s.log.Info("update executed", "method", method, "span", uint64(root.SpanID()), "vt", int64(s.tb.Now()))
 	}
-	return err
+	return root.SpanID(), err
 }
 
 // executePlanned plans the migration with the named registry scheme (the

@@ -117,9 +117,10 @@ func TestDaemonEndToEnd(t *testing.T) {
 }
 
 // expositionLine matches the Prometheus text format 0.0.4: comment
-// lines, blank lines, or `name{labels} value`.
+// lines (HELP, TYPE, and the registry's EXEMPLAR annotations), blank
+// lines, or `name{labels} value`.
 var expositionLine = regexp.MustCompile(
-	`^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? [0-9eE.+-]+|)$`)
+	`^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .*|# EXEMPLAR [a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? .*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? [0-9eE.+-]+|)$`)
 
 func TestDaemonMetricsEndpoint(t *testing.T) {
 	_, ts := newTestServer(t)

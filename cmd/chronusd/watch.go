@@ -1,0 +1,159 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/chronus-sdn/chronus/internal/journal"
+	"github.com/chronus-sdn/chronus/internal/obs"
+)
+
+// GET /watch is the live stream: trace events and finished spans pushed
+// as Server-Sent Events the moment they are recorded, instead of being
+// polled out of /trace pages. Each SSE frame carries the event's
+// sequence number as its SSE id, so a client that reconnects with
+// ?since=<last id> (or the standard Last-Event-ID header) resumes
+// exactly where it stopped, with no duplicates.
+//
+// Resume survives ring eviction: when the cursor points below the
+// ring's oldest retained event, the gap is backfilled from the durable
+// journal (same Seq coordinates — journal offsets and ring cursors are
+// one namespace). Only events that are in neither — journal-disabled
+// daemons, or events the journal itself had to drop — surface as a
+// "gap" frame carrying the skipped count, the same accounting /trace
+// pages report.
+const (
+	watchBatch        = 256
+	watchPollInterval = 25 * time.Millisecond
+	watchPingInterval = 15 * time.Second
+)
+
+func (s *server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	since, err := watchCursor(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	fl := http.NewResponseController(w)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	if err := fl.Flush(); err != nil {
+		return
+	}
+
+	ctx := r.Context()
+	cursor := since
+	var buf []byte
+	lastWrite := time.Now()
+	ticker := time.NewTicker(watchPollInterval)
+	defer ticker.Stop()
+	for {
+		ps := s.tracer.PageStats(cursor, watchBatch)
+		if ps.Skipped > 0 {
+			// The ring evicted events past the cursor before we served
+			// them; recover what the journal still holds and report the
+			// irrecoverable remainder.
+			backfill := s.journalEvents(cursor, cursor+ps.Skipped+1)
+			for _, e := range backfill {
+				if err := writeEventFrame(w, &buf, e); err != nil {
+					return
+				}
+			}
+			if gap := ps.Skipped - uint64(len(backfill)); gap > 0 {
+				if _, err := fmt.Fprintf(w, "event: gap\ndata: {\"after\": %d, \"skipped\": %d}\n\n", cursor, gap); err != nil {
+					return
+				}
+			}
+		}
+		for _, e := range ps.Events {
+			if err := writeEventFrame(w, &buf, e); err != nil {
+				return
+			}
+		}
+		cursor = ps.Next
+		if len(ps.Events) > 0 || ps.Skipped > 0 {
+			if err := fl.Flush(); err != nil {
+				return
+			}
+			lastWrite = time.Now()
+		} else if time.Since(lastWrite) >= watchPingInterval {
+			// Heartbeat comment so a dead (slow, gone) client surfaces
+			// as a write error instead of a goroutine parked forever.
+			if _, err := fmt.Fprint(w, ": ping\n\n"); err != nil {
+				return
+			}
+			if err := fl.Flush(); err != nil {
+				return
+			}
+			lastWrite = time.Now()
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+// watchCursor reads the resume cursor: ?since= wins, then the SSE
+// standard Last-Event-ID header, default 0 (everything retained).
+func watchCursor(r *http.Request) (uint64, error) {
+	q := r.URL.Query().Get("since")
+	if q == "" {
+		q = r.Header.Get("Last-Event-ID")
+	}
+	if q == "" {
+		return 0, nil
+	}
+	since, err := strconv.ParseUint(q, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad since: %w", err)
+	}
+	return since, nil
+}
+
+// writeEventFrame emits one trace event as an SSE frame: the sequence
+// number as the frame id, "span" or "trace" as the event type, and the
+// canonical codec line as the data.
+func writeEventFrame(w http.ResponseWriter, buf *[]byte, e obs.Event) error {
+	kind := "trace"
+	if e.Name == obs.SpanEventName {
+		kind = "span"
+	}
+	line, err := obs.EncodeJSONLine((*buf)[:0], e)
+	*buf = line
+	if err != nil {
+		return err
+	}
+	// The codec line ends in '\n', which terminates the data field; one
+	// more newline closes the frame.
+	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n", e.Seq, kind, line)
+	return err
+}
+
+// journalEvents reads events with lo < Seq < hi back from the journal,
+// flushing the writer first so the read sees everything the tracer has
+// recorded. Returns nil when no journal is attached or the read fails
+// (the watch stream then reports the range as a gap).
+func (s *server) journalEvents(lo, hi uint64) []obs.Event {
+	if s.journal == nil {
+		return nil
+	}
+	if err := s.journal.Flush(); err != nil {
+		return nil
+	}
+	var out []obs.Event
+	_, err := journal.Replay(s.journal.Dir(), lo, func(e obs.Event) error {
+		if e.Seq < hi {
+			out = append(out, e)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil
+	}
+	return out
+}

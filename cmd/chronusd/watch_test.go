@@ -1,0 +1,237 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/chronus-sdn/chronus/internal/obs"
+)
+
+// sseFrame is one parsed Server-Sent Event.
+type sseFrame struct {
+	id    uint64
+	event string
+	data  string
+}
+
+// watchClient tails GET /watch and hands parsed frames to the caller.
+type watchClient struct {
+	cancel context.CancelFunc
+	resp   *http.Response
+	rd     *bufio.Reader
+}
+
+func dialWatch(t *testing.T, url string, header http.Header) *watchClient {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	for k, vs := range header {
+		req.Header[k] = vs
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		cancel()
+		t.Fatalf("watch: %s", resp.Status)
+	}
+	if got := resp.Header.Get("Content-Type"); got != "text/event-stream" {
+		t.Errorf("watch Content-Type = %q", got)
+	}
+	if got := resp.Header.Get("Cache-Control"); got != "no-store" {
+		t.Errorf("watch Cache-Control = %q", got)
+	}
+	c := &watchClient{cancel: cancel, resp: resp, rd: bufio.NewReader(resp.Body)}
+	t.Cleanup(c.close)
+	return c
+}
+
+func (c *watchClient) close() {
+	c.cancel()
+	c.resp.Body.Close()
+}
+
+// next reads one frame (skipping ping comments); the test fails if the
+// stream ends or stalls past the deadline.
+func (c *watchClient) next(t *testing.T) sseFrame {
+	t.Helper()
+	var f sseFrame
+	deadline := time.AfterFunc(30*time.Second, c.cancel)
+	defer deadline.Stop()
+	for {
+		line, err := c.rd.ReadString('\n')
+		if err != nil {
+			t.Fatalf("watch stream ended mid-frame: %v", err)
+		}
+		line = strings.TrimSuffix(line, "\n")
+		switch {
+		case strings.HasPrefix(line, ":"): // comment (ping)
+		case strings.HasPrefix(line, "id: "):
+			id, err := strconv.ParseUint(line[4:], 10, 64)
+			if err != nil {
+				t.Fatalf("bad frame id %q", line)
+			}
+			f.id = id
+		case strings.HasPrefix(line, "event: "):
+			f.event = line[7:]
+		case strings.HasPrefix(line, "data: "):
+			f.data = line[6:]
+		case line == "":
+			if f.event != "" || f.data != "" {
+				return f
+			}
+		default:
+			t.Fatalf("unexpected SSE line %q", line)
+		}
+	}
+}
+
+// collect reads frames until the stream has delivered an event with
+// sequence number upto.
+func (c *watchClient) collect(t *testing.T, upto uint64) []sseFrame {
+	t.Helper()
+	var out []sseFrame
+	for {
+		f := c.next(t)
+		out = append(out, f)
+		if f.id >= upto {
+			return out
+		}
+	}
+}
+
+// TestDaemonWatchStream covers the live stream against one update on
+// one daemon: a subscriber connected before the update sees every event
+// it emits, in order, with no gaps, while the tracer is written
+// concurrently; reconnecting with a cursor resumes without duplicates.
+func TestDaemonWatchStream(t *testing.T) {
+	srv, ts := newTestServerOpts(t, serverOptions{Seed: 1, Virtual: true, Wall: false})
+	c := dialWatch(t, ts.URL+"/watch", nil)
+
+	done := make(chan map[string]any, 1)
+	go func() {
+		_, result := postJSON(t, ts.URL+"/update", `{"method": "chronus"}`)
+		done <- result
+	}()
+	result := <-done
+	if result["span"] == nil {
+		t.Fatalf("update response carries no span id: %v", result)
+	}
+	last := srv.tracer.PageStats(0, 0).Next
+
+	t.Run("live-stream", func(t *testing.T) {
+		frames := c.collect(t, last)
+		want := uint64(1)
+		spans := 0
+		for _, f := range frames {
+			if f.event == "gap" {
+				t.Fatalf("gap frame on an unevicted stream: %+v", f)
+			}
+			if f.id != want {
+				t.Fatalf("frame ids not contiguous: got %d, want %d", f.id, want)
+			}
+			want++
+			e, err := obs.DecodeJSONLine([]byte(f.data))
+			if err != nil {
+				t.Fatalf("frame %d data does not decode: %v", f.id, err)
+			}
+			if e.Seq != f.id {
+				t.Fatalf("frame id %d carries event seq %d", f.id, e.Seq)
+			}
+			wantKind := "trace"
+			if e.Name == obs.SpanEventName {
+				wantKind = "span"
+				spans++
+			}
+			if f.event != wantKind {
+				t.Fatalf("frame %d event type %q, want %q", f.id, f.event, wantKind)
+			}
+		}
+		if spans == 0 {
+			t.Fatal("stream delivered no finished spans")
+		}
+	})
+
+	t.Run("resume-last-event-id", func(t *testing.T) {
+		mid := last / 2
+		c := dialWatch(t, ts.URL+"/watch", http.Header{"Last-Event-Id": {strconv.FormatUint(mid, 10)}})
+		frames := c.collect(t, last)
+		for i, f := range frames {
+			if want := mid + 1 + uint64(i); f.id != want {
+				t.Fatalf("frame %d id = %d, want %d (duplicate or gap on resume)", i, f.id, want)
+			}
+		}
+	})
+
+	t.Run("resume-since-param", func(t *testing.T) {
+		c := dialWatch(t, fmt.Sprintf("%s/watch?since=%d", ts.URL, last-1), nil)
+		if f := c.next(t); f.id != last {
+			t.Fatalf("since=%d delivered id %d first, want %d", last-1, f.id, last)
+		}
+	})
+
+	t.Run("bad-cursor", func(t *testing.T) {
+		r, err := http.Get(ts.URL + "/watch?since=banana")
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bad since: %s", r.Status)
+		}
+	})
+}
+
+// TestDaemonWatchGapWithoutJournal pins the honest-loss contract: when
+// the ring has evicted events and no journal exists to backfill them, a
+// subscriber from zero gets one gap frame accounting for exactly the
+// missing range, then the retained events.
+func TestDaemonWatchGapWithoutJournal(t *testing.T) {
+	srv, ts := newTestServerOpts(t, serverOptions{
+		Seed: 1, Virtual: true, Wall: false, TraceCap: 32,
+	})
+	resp, result := postJSON(t, ts.URL+"/update", `{"method": "chronus"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("update: %s (%v)", resp.Status, result)
+	}
+	ps := srv.tracer.PageStats(0, 0)
+	if ps.Skipped == 0 {
+		t.Fatal("TraceCap 32 did not force eviction; the test is vacuous")
+	}
+
+	c := dialWatch(t, ts.URL+"/watch", nil)
+	f := c.next(t)
+	if f.event != "gap" {
+		t.Fatalf("first frame = %+v, want a gap frame", f)
+	}
+	if want := fmt.Sprintf(`{"after": 0, "skipped": %d}`, ps.Skipped); f.data != want {
+		t.Fatalf("gap data = %q, want %q", f.data, want)
+	}
+	if f = c.next(t); f.id != ps.Skipped+1 {
+		t.Fatalf("first event after gap has id %d, want %d", f.id, ps.Skipped+1)
+	}
+}
+
+// TestDaemonWatchClientDisconnect drops the client mid-stream and
+// checks the handler notices and returns (the httptest server Close in
+// the test cleanup hangs the test if the handler goroutine leaks). Boot
+// provisioning has already emitted events, so no update is needed.
+func TestDaemonWatchClientDisconnect(t *testing.T) {
+	_, ts := newTestServerOpts(t, serverOptions{Seed: 1, Virtual: true, Wall: false})
+	c := dialWatch(t, ts.URL+"/watch", nil)
+	c.next(t)
+	c.close()
+}

@@ -8,6 +8,8 @@ import (
 
 	chronus "github.com/chronus-sdn/chronus"
 	"github.com/chronus-sdn/chronus/internal/audit"
+	"github.com/chronus-sdn/chronus/internal/journal"
+	"github.com/chronus-sdn/chronus/internal/obs"
 )
 
 // runAudit executes the schedule on the emulated testbed, feeds the
@@ -36,11 +38,22 @@ func runAudit(out io.Writer, in *chronus.Instance, s *chronus.Schedule, seed int
 
 // auditFromFile audits a previously captured JSONL trace (the output of
 // -trace or the chronusd /trace endpoint) offline, with no instance or
-// schedule needed. Captures cut off mid-write are common (the writer
-// was killed, the ring was snapshotted live), so a torn trailing line
-// is warned about and skipped; corruption anywhere earlier, or a file
-// with no events at all, fails with a diagnosable error.
+// schedule needed. A directory is treated as a chronusd journal
+// (-journal-dir): its segments are replayed in order, so a trace that
+// outlived the daemon's in-memory ring — or the daemon itself — audits
+// exactly like the live /audit endpoint. Captures cut off mid-write are
+// common (the writer was killed, the ring was snapshotted live), so a
+// torn trailing line is warned about and skipped; corruption anywhere
+// earlier, or a capture with no events at all, fails with a diagnosable
+// error.
 func auditFromFile(out io.Writer, path, jsonPath string) error {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	if fi.IsDir() {
+		return auditFromJournal(out, path, jsonPath)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -57,6 +70,34 @@ func auditFromFile(out io.Writer, path, jsonPath string) error {
 	if n == 0 {
 		return fmt.Errorf("%s: no trace events (empty or fully torn capture)", path)
 	}
+	rep := a.Report()
+	rep.Render(out)
+	if jsonPath != "" {
+		return writeAuditJSON(rep, jsonPath)
+	}
+	return nil
+}
+
+// auditFromJournal replays a chronusd journal directory — every
+// segment, in order — through the auditor.
+func auditFromJournal(out io.Writer, dir, jsonPath string) error {
+	a := audit.New()
+	n := 0
+	stats, err := journal.Replay(dir, 0, func(e obs.Event) error {
+		a.Feed(e)
+		n++
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, w := range stats.Warnings {
+		fmt.Fprintf(out, "warning: %s\n", w)
+	}
+	if n == 0 {
+		return fmt.Errorf("%s: no trace events (empty or fully torn journal)", dir)
+	}
+	fmt.Fprintf(out, "journal: %d events from %d segment(s)\n", n, stats.Segments)
 	rep := a.Report()
 	rep.Render(out)
 	if jsonPath != "" {

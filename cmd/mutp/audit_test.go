@@ -7,6 +7,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/chronus-sdn/chronus/internal/journal"
+	"github.com/chronus-sdn/chronus/internal/obs"
 )
 
 // TestCLIAuditGolden pins the full -audit output for the fig1 one-shot
@@ -97,6 +100,68 @@ func TestCLIAuditOffline(t *testing.T) {
 			t.Fatalf("loop lacks evidence: %+v", l)
 		}
 	}
+}
+
+// TestCLIAuditFromJournalDir points -audit-from at a chronusd-style
+// journal directory: the multi-segment replay must reach the same
+// verdict, rendered byte for byte, as auditing the flat capture the
+// journal was built from.
+func TestCLIAuditFromJournalDir(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.jsonl")
+	runCLI(t, "-instance", "fig1", "-scheme", "oneshot", "-trace", trace)
+	fileOut := runCLI(t, "-audit-from", trace)
+
+	jdir := filepath.Join(dir, "journal")
+	w, err := journal.Open(journal.Options{Dir: jdir, SegmentBytes: 512, Buffer: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range bytes.SplitAfter(data, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		e, err := obs.DecodeJSONLine(line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Record(e)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := journal.Segments(jdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("512-byte segments produced %d segment(s); rotation untested", len(segs))
+	}
+
+	out := runCLI(t, "-audit-from", jdir)
+	head, rest, ok := strings.Cut(out, "\n")
+	if !ok || !strings.Contains(head, "journal:") || !strings.Contains(head, "segment(s)") {
+		t.Fatalf("journal audit should lead with replay provenance:\n%s", out)
+	}
+	if rest != fileOut {
+		t.Fatalf("journal replay verdict differs from the flat capture:\n--- journal ---\n%s\n--- file ---\n%s", rest, fileOut)
+	}
+
+	t.Run("empty-journal", func(t *testing.T) {
+		empty := filepath.Join(dir, "empty-journal")
+		if err := os.Mkdir(empty, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		err := run([]string{"-audit-from", empty}, &buf)
+		if err == nil || !strings.Contains(err.Error(), "no trace events") {
+			t.Fatalf("err = %v, want an explicit empty-journal error", err)
+		}
+	})
 }
 
 func TestCLIAuditRequiresTimedScheme(t *testing.T) {

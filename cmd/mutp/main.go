@@ -76,7 +76,7 @@ func run(args []string, out io.Writer) error {
 	traceFile := fs.String("trace", "", "execute the schedule on the emulated testbed and write its event trace (JSONL) to this file")
 	auditRun := fs.Bool("audit", false, "execute the schedule on the emulated testbed and audit the trace for consistency violations")
 	auditJSON := fs.String("audit-json", "", "with -audit (or -audit-from): also write the audit report as JSON to this file")
-	auditFrom := fs.String("audit-from", "", "audit a previously captured JSONL trace file offline and exit")
+	auditFrom := fs.String("audit-from", "", "audit a captured JSONL trace file, or a chronusd journal directory, offline and exit")
 	logLevel := fs.String("log-level", "", "enable structured diagnostics on stderr at this slog level (debug, info, warn, error)")
 	version := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {

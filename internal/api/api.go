@@ -30,6 +30,8 @@ var Endpoints = []Endpoint{
 	{"GET", "/audit", "consistency audit of the trace ring (violations, critical path)"},
 	{"GET", "/schemes", "registered update schemes"},
 	{"GET", "/dash", "self-contained HTML dashboard (spans timeline + health tiles)"},
+	{"GET", "/watch", "live SSE stream of trace events and spans, resumable with ?since= or Last-Event-ID"},
+	{"GET", "/updates/{id}", "per-update cost report (CPU, allocations, queue wait, per-stage latency) by root span id"},
 	{"POST", "/advance", "advance virtual time by ?ticks="},
 	{"POST", "/update", "plan and execute a path update (?method= selects the scheme)"},
 }

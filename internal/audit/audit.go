@@ -66,7 +66,6 @@ package audit
 
 import (
 	"bufio"
-	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -124,8 +123,8 @@ func (a *Auditor) readJSONL(r io.Reader, strict bool) (n int, warn string, err e
 		if text != "" {
 			line++
 			if t := strings.TrimSpace(text); t != "" {
-				var e obs.Event
-				if uerr := json.Unmarshal([]byte(t), &e); uerr != nil {
+				e, uerr := obs.DecodeJSONLine([]byte(t))
+				if uerr != nil {
 					// A bad final line with no terminating newline is a
 					// torn mid-write tail, not corruption.
 					if !strict && atEOF {

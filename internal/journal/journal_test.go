@@ -1,0 +1,337 @@
+package journal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/chronus-sdn/chronus/internal/obs"
+)
+
+func event(seq int) obs.Event {
+	return obs.Event{
+		Seq: uint64(seq), VT: int64(seq * 10), Name: "test",
+		Attrs: []obs.Attr{{K: "i", V: fmt.Sprint(seq)}},
+	}
+}
+
+func mustOpen(t *testing.T, o Options) *Writer {
+	t.Helper()
+	w, err := Open(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	w := mustOpen(t, Options{Dir: dir, Obs: reg})
+	const n = 100
+	for i := 1; i <= n; i++ {
+		w.Record(event(i))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	evs, stats, err := ReadAll(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != n || stats.Events != n || stats.Torn != 0 {
+		t.Fatalf("read %d events (stats %+v), want %d", len(evs), stats, n)
+	}
+	for i, e := range evs {
+		if e.Seq != uint64(i+1) || e.Name != "test" {
+			t.Fatalf("event %d = %+v", i, e)
+		}
+	}
+	if got := reg.Counter("chronus_journal_appended_total").Value(); got != n {
+		t.Fatalf("appended_total = %d, want %d", got, n)
+	}
+	if got := reg.Counter("chronus_journal_dropped_total").Value(); got != 0 {
+		t.Fatalf("dropped_total = %d, want 0", got)
+	}
+	if got := reg.Counter("chronus_journal_bytes").Value(); got <= 0 {
+		t.Fatalf("journal_bytes = %d, want > 0", got)
+	}
+}
+
+// TestJournalMatchesTracerExport pins the codec-unification contract: a
+// journal capture and Tracer.WriteJSONL over the same events are
+// byte-identical — one serializer, zero drift.
+func TestJournalMatchesTracerExport(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, Options{Dir: dir})
+	tracer := obs.NewTracer(obs.TracerOptions{Sink: w})
+	for i := 0; i < 50; i++ {
+		tracer.Point(int64(i), "ev", obs.A("i", i))
+	}
+	tracer.Span("window", 5, 25, obs.A("why", "test"))
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	segs, err := Segments(dir)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments = %v, %v", segs, err)
+	}
+	journalBytes, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var export strings.Builder
+	if err := tracer.WriteJSONL(&export, 0); err != nil {
+		t.Fatal(err)
+	}
+	if export.String() != string(journalBytes) {
+		t.Fatalf("journal bytes differ from tracer export:\n--- journal ---\n%s--- export ---\n%s", journalBytes, export.String())
+	}
+}
+
+func TestJournalRotationAndResume(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force many rotations.
+	w := mustOpen(t, Options{Dir: dir, SegmentBytes: 256})
+	const n = 200
+	for i := 1; i <= n; i++ {
+		w.Record(event(i))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := Segments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 4 {
+		t.Fatalf("only %d segments; rotation did not trigger", len(segs))
+	}
+
+	evs, _, err := ReadAll(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != n {
+		t.Fatalf("read %d events across segments, want %d", len(evs), n)
+	}
+
+	// Resume from a mid-journal cursor: no duplicates, no gaps.
+	cursor := evs[119].Seq
+	rest, stats, err := ReadAll(dir, cursor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != n-120 {
+		t.Fatalf("resume from %d returned %d events, want %d", cursor, len(rest), n-120)
+	}
+	if rest[0].Seq != cursor+1 {
+		t.Fatalf("resume started at seq %d, want %d", rest[0].Seq, cursor+1)
+	}
+	if stats.Events != len(rest) {
+		t.Fatalf("stats.Events = %d, want %d", stats.Events, len(rest))
+	}
+
+	// A writer re-opened over the same dir continues the numbering
+	// instead of clobbering existing segments.
+	w2 := mustOpen(t, Options{Dir: dir, SegmentBytes: 256})
+	w2.Record(event(n + 1))
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs2, _ := Segments(dir)
+	if len(segs2) != len(segs)+1 {
+		t.Fatalf("reopen wrote %d segments, want %d", len(segs2), len(segs)+1)
+	}
+	all, _, err := ReadAll(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != n+1 || all[n].Seq != uint64(n+1) {
+		t.Fatalf("after reopen read %d events, last seq %d", len(all), all[len(all)-1].Seq)
+	}
+}
+
+// TestJournalTornTailProperty is the crash-safety property test: for
+// EVERY truncation point inside the final record (the shape any torn
+// write can take), the reader recovers every complete record before it,
+// loses at most that one partial record, and reports the tear.
+func TestJournalTornTailProperty(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, Options{Dir: dir})
+	const n = 10
+	for i := 1; i <= n; i++ {
+		w.Record(event(i))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := Segments(dir)
+	if len(segs) != 1 {
+		t.Fatalf("segments = %v", segs)
+	}
+	whole, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(strings.TrimSuffix(string(whole), "\n"), "\n")
+	if len(lines) != n {
+		t.Fatalf("wrote %d lines, want %d", len(lines), n)
+	}
+	lastStart := len(whole) - len(lines[n-1]) - 1 // lines[n-1] lost its newline to TrimSuffix
+
+	for cut := lastStart + 1; cut < len(whole); cut++ {
+		tdir := t.TempDir()
+		torn := filepath.Join(tdir, filepath.Base(segs[0]))
+		if err := os.WriteFile(torn, whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		evs, stats, err := ReadAll(tdir, 0)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		// Every complete record must be recovered; at most the one
+		// partial record may be lost. (A cut that strips only the final
+		// newline leaves the last record parseable, so nothing is lost
+		// and nothing is torn.)
+		if len(evs) < n-1 || len(evs) > n {
+			t.Fatalf("cut %d: recovered %d events, want %d or %d", cut, len(evs), n-1, n)
+		}
+		for i, e := range evs {
+			if e.Seq != uint64(i+1) {
+				t.Fatalf("cut %d: event %d has seq %d", cut, i, e.Seq)
+			}
+		}
+		if lost := n - len(evs); stats.Torn != lost {
+			t.Fatalf("cut %d: stats.Torn = %d, want %d (warnings %v)", cut, stats.Torn, lost, stats.Warnings)
+		}
+	}
+
+	// Truncating exactly at a record boundary is not a tear at all.
+	tdir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(tdir, filepath.Base(segs[0])), whole[:lastStart], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	evs, stats, err := ReadAll(tdir, 0)
+	if err != nil || len(evs) != n-1 || stats.Torn != 0 {
+		t.Fatalf("boundary cut: %d events, stats %+v, err %v", len(evs), stats, err)
+	}
+}
+
+// TestJournalMidFileCorruptionFails: a malformed line that is newline-
+// terminated (i.e. not a torn tail) poisons everything after it and
+// must fail loudly, exactly like mutp -audit-from on a single capture.
+func TestJournalMidFileCorruptionFails(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, Options{Dir: dir})
+	for i := 1; i <= 5; i++ {
+		w.Record(event(i))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := Segments(dir)
+	data, _ := os.ReadFile(segs[0])
+	lines := strings.SplitAfter(string(data), "\n")
+	corrupt := strings.Join(append(lines[:2], append([]string{"{torn garbage\n"}, lines[2:]...)...), "")
+	if err := os.WriteFile(segs[0], []byte(corrupt), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadAll(dir, 0); err == nil {
+		t.Fatal("mid-file corruption did not fail the replay")
+	}
+}
+
+// TestJournalTornMidSegment: a torn tail in a NON-final segment (crash,
+// then a later run appended a new segment to the same dir) is tolerated
+// with a warning, so a restarted daemon's journal stays replayable.
+func TestJournalTornMidSegment(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, Options{Dir: dir})
+	for i := 1; i <= 5; i++ {
+		w.Record(event(i))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := Segments(dir)
+	data, _ := os.ReadFile(segs[0])
+	if err := os.WriteFile(segs[0], data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w2 := mustOpen(t, Options{Dir: dir})
+	for i := 6; i <= 8; i++ {
+		w2.Record(event(i))
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	evs, stats, err := ReadAll(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 7 || stats.Torn != 1 {
+		t.Fatalf("read %d events, stats %+v; want 7 events and 1 torn tail", len(evs), stats)
+	}
+}
+
+// TestJournalBufferOverflowDropsWithoutBlocking floods a writer whose
+// drain goroutine is effectively stalled behind a tiny buffer; Record
+// must return immediately, and every overflowed event must be counted.
+func TestJournalBufferOverflowDropsWithoutBlocking(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	w := mustOpen(t, Options{Dir: dir, Buffer: 1, Obs: reg})
+	const n = 5000
+	for i := 1; i <= n; i++ {
+		w.Record(event(i)) // never blocks, whatever the drain pace
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	appended := reg.Counter("chronus_journal_appended_total").Value()
+	dropped := reg.Counter("chronus_journal_dropped_total").Value()
+	if appended+dropped != n {
+		t.Fatalf("appended %d + dropped %d != %d recorded", appended, dropped, n)
+	}
+	evs, _, err := ReadAll(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(evs)) != appended {
+		t.Fatalf("journal holds %d events, appended counter says %d", len(evs), appended)
+	}
+}
+
+func TestParseFsync(t *testing.T) {
+	for in, want := range map[string]Fsync{"": FsyncRotate, "rotate": FsyncRotate, "never": FsyncNever, "always": FsyncAlways} {
+		got, err := ParseFsync(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseFsync(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseFsync("sometimes"); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}
+
+func TestJournalFsyncAlways(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, Options{Dir: dir, Fsync: FsyncAlways})
+	w.Record(event(1))
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Flushed and synced: the segment is complete on disk before Close.
+	evs, _, err := ReadAll(dir, 0)
+	if err != nil || len(evs) != 1 {
+		t.Fatalf("after flush: %d events, %v", len(evs), err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,38 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// This file is the single JSONL codec for trace events. Every producer
+// and consumer of the on-the-wire event format — Tracer.WriteJSONL, the
+// chronusd /trace endpoint, the journal writer, the audit readers and
+// `mutp -trace` — goes through EncodeJSONLine/DecodeJSONLine, so there
+// is exactly one serialization and it cannot drift between the live
+// stream and the durable record. The encoding is canonical: for a fixed
+// event the bytes are identical everywhere (struct-ordered keys, no
+// map iteration, zero fields omitted per the Event tags), which is what
+// lets a journal capture be compared byte-for-byte against the
+// in-memory endpoints.
+
+// EncodeJSONLine appends the canonical JSON encoding of e plus a
+// trailing newline to buf and returns the extended slice.
+func EncodeJSONLine(buf []byte, e Event) ([]byte, error) {
+	line, err := json.Marshal(e)
+	if err != nil {
+		return buf, err
+	}
+	buf = append(buf, line...)
+	return append(buf, '\n'), nil
+}
+
+// DecodeJSONLine parses one line of the JSONL stream (with or without
+// its trailing newline) back into an Event.
+func DecodeJSONLine(line []byte) (Event, error) {
+	var e Event
+	if err := json.Unmarshal(line, &e); err != nil {
+		return Event{}, fmt.Errorf("obs: decode event line: %w", err)
+	}
+	return e, nil
+}

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestCodecRoundTripByteIdentity pins the single-serializer contract:
+// decode(encode(e)) == e, and re-encoding the decoded event reproduces
+// the original bytes exactly, for every event shape the stack emits
+// (point events, wall-stamped events, span carriers, empty attrs).
+func TestCodecRoundTripByteIdentity(t *testing.T) {
+	events := []Event{
+		{Seq: 1, VT: 0, Name: "boot"},
+		{Seq: 2, VT: 42, Name: "emu.rate", Attrs: []Attr{{K: "link", V: "R1>R2"}, {K: "rate", V: "7"}}},
+		{Seq: 3, VT: 100, Wall: 1700000000123456789, Name: "ctl.flowmod", Attrs: []Attr{{K: "switch", V: "R3"}}},
+		{Seq: 4, VT: 50, Dur: 25, Name: SpanEventName, Attrs: []Attr{
+			{K: "span", V: "3"}, {K: "parent", V: "1"}, {K: "op", V: "solve"}, {K: "scheme", V: "chronus"}}},
+		{Seq: 5, VT: -7, Name: "weird\"chars\n", Attrs: []Attr{{K: "k", V: `va"l`}}},
+	}
+	for _, e := range events {
+		line, err := EncodeJSONLine(nil, e)
+		if err != nil {
+			t.Fatalf("encode %+v: %v", e, err)
+		}
+		if !bytes.HasSuffix(line, []byte("\n")) {
+			t.Fatalf("encoded line not newline-terminated: %q", line)
+		}
+		got, err := DecodeJSONLine(bytes.TrimSuffix(line, []byte("\n")))
+		if err != nil {
+			t.Fatalf("decode %q: %v", line, err)
+		}
+		again, err := EncodeJSONLine(nil, got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(line, again) {
+			t.Fatalf("re-encode drifted:\n first %q\nsecond %q", line, again)
+		}
+	}
+}
+
+// TestCodecMatchesWriteJSONL: the tracer's own export is the codec,
+// line for line — no second encoder behind WriteJSONL.
+func TestCodecMatchesWriteJSONL(t *testing.T) {
+	tr := NewTracer(TracerOptions{})
+	tr.Point(1, "a", A("x", 1))
+	tr.Span("b", 2, 9, A("y", "z"))
+	var w strings.Builder
+	if err := tr.WriteJSONL(&w, 0); err != nil {
+		t.Fatal(err)
+	}
+	var want []byte
+	for _, e := range tr.Events(0) {
+		var err error
+		want, err = EncodeJSONLine(want, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.String() != string(want) {
+		t.Fatalf("WriteJSONL diverged from codec:\n%q\n%q", w.String(), want)
+	}
+}
+
+func TestDecodeJSONLineRejectsGarbage(t *testing.T) {
+	if _, err := DecodeJSONLine([]byte(`{"seq": 1,`)); err == nil {
+		t.Fatal("torn line decoded without error")
+	}
+}
+
+// TestTracerSinkSeesEveryEvent: the sink receives each event exactly
+// once in sequence order, including events the ring later evicts.
+func TestTracerSinkSeesEveryEvent(t *testing.T) {
+	var got []Event
+	tr := NewTracer(TracerOptions{Cap: 4, Sink: sinkFunc(func(e Event) { got = append(got, e) })})
+	const n = 20
+	for i := 0; i < n; i++ {
+		tr.Point(int64(i), "ev")
+	}
+	if len(got) != n {
+		t.Fatalf("sink saw %d events, want %d", len(got), n)
+	}
+	for i, e := range got {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("sink event %d has seq %d", i, e.Seq)
+		}
+	}
+	if tr.Dropped() != n-4 {
+		t.Fatalf("ring dropped %d, want %d", tr.Dropped(), n-4)
+	}
+}
+
+type sinkFunc func(Event)
+
+func (f sinkFunc) Record(e Event) { f(e) }

@@ -137,22 +137,24 @@ func (h *Histogram) Sum() float64 {
 // returns the same instrument, so packages can (re-)register their
 // instruments cheaply at construction time.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	gaugeFns map[string]func() int64
-	hists    map[string]*Histogram
-	help     map[string]string
+	mu        sync.Mutex
+	counters  map[string]*Counter
+	gauges    map[string]*Gauge
+	gaugeFns  map[string]func() int64
+	hists     map[string]*Histogram
+	help      map[string]string
+	exemplars map[string]string
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		gaugeFns: make(map[string]func() int64),
-		hists:    make(map[string]*Histogram),
-		help:     make(map[string]string),
+		counters:  make(map[string]*Counter),
+		gauges:    make(map[string]*Gauge),
+		gaugeFns:  make(map[string]func() int64),
+		hists:     make(map[string]*Histogram),
+		help:      make(map[string]string),
+		exemplars: make(map[string]string),
 	}
 }
 
@@ -241,6 +243,26 @@ func (r *Registry) Help(family, text string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.help[family] = text
+}
+
+// Exemplar attaches a one-line annotation to a series, rendered as an
+// `# EXEMPLAR <series> <text>` comment right after the series in the
+// exposition. The text format 0.0.4 has no native exemplar syntax, so
+// the annotation rides in a comment scrapers ignore — it is how a
+// histogram observation can point back at the span that produced it
+// (e.g. chronus_update_stage_seconds carrying the update's span-id).
+// The latest exemplar per series wins; empty text removes it.
+func (r *Registry) Exemplar(series, text string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if text == "" {
+		delete(r.exemplars, series)
+		return
+	}
+	r.exemplars[series] = text
 }
 
 // family returns the metric family of a series name (the part before
@@ -352,6 +374,9 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				fmt.Fprintf(&b, "%s %d\n", bucketName(s.name, "+Inf"), cum)
 				fmt.Fprintf(&b, "%s %s\n", suffixed(s.name, "_sum"), formatValue(h.Sum()))
 				fmt.Fprintf(&b, "%s %d\n", suffixed(s.name, "_count"), h.Count())
+			}
+			if ex, ok := r.exemplars[s.name]; ok {
+				fmt.Fprintf(&b, "# EXEMPLAR %s %s\n", s.name, ex)
 			}
 		}
 	}

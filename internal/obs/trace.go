@@ -1,7 +1,6 @@
 package obs
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 	"sync"
@@ -40,6 +39,17 @@ type Event struct {
 	Attrs []Attr `json:"attrs,omitempty"`
 }
 
+// A Sink receives every event a Tracer records, in sequence order, at
+// the moment it enters the ring. It is the durability hook: the ring is
+// a bounded in-memory window, a sink can be a crash-safe journal (see
+// internal/journal). Record is called with the tracer lock held so the
+// sink sees events in exactly ring order; implementations must never
+// block (hand off to a bounded buffer and count what overflows) and
+// must not call back into the tracer.
+type Sink interface {
+	Record(Event)
+}
+
 // TracerOptions configures a Tracer.
 type TracerOptions struct {
 	// Wall, when set, stamps each event with a wall clock (typically
@@ -57,6 +67,11 @@ type TracerOptions struct {
 	// chronus_trace_dropped_events_total family) instead of having to be
 	// inferred from sequence gaps.
 	Drops *Counter
+	// Sink, when set, additionally receives every recorded event in
+	// sequence order — the attachment point for a durable journal.
+	// Eviction from the ring does not remove an event from the sink, so
+	// a journal-backed sink retains events the ring has long dropped.
+	Sink Sink
 }
 
 // Tracer collects structured events in a bounded in-memory ring.
@@ -71,6 +86,7 @@ type Tracer struct {
 	dropped uint64
 	wall    func() int64
 	drops   *Counter
+	sink    Sink
 }
 
 const defaultTracerCap = 65536
@@ -81,7 +97,7 @@ func NewTracer(o TracerOptions) *Tracer {
 	if cap <= 0 {
 		cap = defaultTracerCap
 	}
-	return &Tracer{events: make([]Event, cap), wall: o.Wall, drops: o.Drops}
+	return &Tracer{events: make([]Event, cap), wall: o.Wall, drops: o.Drops, sink: o.Sink}
 }
 
 // Point records an instantaneous event at virtual time vt.
@@ -116,6 +132,11 @@ func (t *Tracer) add(e Event) {
 	} else {
 		t.events[(t.head+t.count)%len(t.events)] = e
 		t.count++
+	}
+	if t.sink != nil {
+		// Under the lock so the sink observes ring order; the Sink
+		// contract forbids blocking here.
+		t.sink.Record(e)
 	}
 	t.mu.Unlock()
 }
@@ -219,15 +240,18 @@ func (t *Tracer) PageStats(since uint64, limit int) PageStats {
 }
 
 // WriteJSONL writes the retained events with Seq > since as one JSON
-// object per line. In deterministic mode (no wall clock) the output for
-// a fixed seed is byte-identical run to run.
+// object per line via the shared codec (EncodeJSONLine). In
+// deterministic mode (no wall clock) the output for a fixed seed is
+// byte-identical run to run.
 func (t *Tracer) WriteJSONL(w io.Writer, since uint64) error {
+	var buf []byte
 	for _, e := range t.Events(since) {
-		line, err := json.Marshal(e)
+		var err error
+		buf, err = EncodeJSONLine(buf[:0], e)
 		if err != nil {
 			return err
 		}
-		if _, err := w.Write(append(line, '\n')); err != nil {
+		if _, err := w.Write(buf); err != nil {
 			return err
 		}
 	}
