@@ -33,6 +33,7 @@ func TestDaemonResponseHeaders(t *testing.T) {
 		{"/schemes", "application/json"},
 		{"/spans", "application/json"},
 		{"/health", "application/json"},
+		{"/clocks", "application/json"},
 		{"/audit", "application/json"},
 		{"/trace?limit=5", "application/json"},
 		{"/trace", "application/x-ndjson"},
@@ -104,6 +105,77 @@ func TestDaemonSpansGolden(t *testing.T) {
 	}
 	if string(got) != string(want) {
 		t.Fatalf("/spans drifted from golden file (re-run with -update to accept):\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestDaemonClocksGolden pins the /clocks response byte for byte in
+// deterministic mode: the boot-time probe rounds on seed 1 must always
+// yield the same per-switch offset/drift/jitter estimates.
+func TestDaemonClocksGolden(t *testing.T) {
+	_, ts := newTestServerOpts(t, serverOptions{Seed: 1, Virtual: true, Wall: false})
+	r, err := http.Get(ts.URL + "/clocks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(r.Body)
+	r.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "clocks_boot.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("/clocks drifted from golden file (re-run with -update to accept):\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+	// Virtual sessions carry seeded 1..8-tick latencies, so the barrier
+	// RTT estimates must be positive here.
+	if !strings.Contains(string(got), `"rtt_ticks": `) || strings.Contains(string(got), `"rtt_ticks": 0`) {
+		t.Errorf("virtual-mode RTT estimates missing or zero:\n%s", got)
+	}
+}
+
+// TestDaemonClocksEndpoint checks the boot probes populate an estimate
+// for every switch, with barrier-RTT samples from the probe barriers.
+func TestDaemonClocksEndpoint(t *testing.T) {
+	srv, ts := newTestServer(t)
+	var out struct {
+		Clocks []struct {
+			Switch     string `json:"switch"`
+			Samples    int64  `json:"samples"`
+			RTTSamples int64  `json:"rtt_samples"`
+			RTTTicks   int64  `json:"rtt_ticks"`
+		} `json:"clocks"`
+	}
+	getJSON(t, ts.URL+"/clocks", &out)
+	if len(out.Clocks) != srv.in.G.NumNodes() {
+		t.Fatalf("clock estimates for %d switches, want %d", len(out.Clocks), srv.in.G.NumNodes())
+	}
+	for _, c := range out.Clocks {
+		if c.Samples < 2 {
+			t.Errorf("switch %s has %d skew samples, want >= 2 boot probes", c.Switch, c.Samples)
+		}
+		// Over TCP the virtual clock stands still while messages are in
+		// flight, so the barrier RTT in ticks is 0 here; virtual mode
+		// (the golden test) sees the seeded 1..8-tick latencies.
+		if c.RTTSamples < 1 {
+			t.Errorf("switch %s has %d rtt samples, want >= 1", c.Switch, c.RTTSamples)
+		}
+	}
+	// The probe flow must leave no rule residue.
+	var rules []map[string]any
+	getJSON(t, ts.URL+"/switches/R1/rules", &rules)
+	for _, ru := range rules {
+		if key, ok := ru["Key"].(map[string]any); ok && key["Flow"] == "clockprobe" {
+			t.Fatalf("probe rule left behind: %v", rules)
+		}
 	}
 }
 
@@ -237,7 +309,7 @@ func TestDaemonDashEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	page := string(body)
-	for _, want := range []string{"<!DOCTYPE html>", "fetch(\"/health\")", "fetch(\"/spans\")", "chronusd"} {
+	for _, want := range []string{"<!DOCTYPE html>", "fetch(\"/health\")", "fetch(\"/clocks\")", "fetch(\"/spans\")", "chronusd"} {
 		if !strings.Contains(page, want) {
 			t.Fatalf("dashboard missing %q", want)
 		}

@@ -17,6 +17,7 @@ import (
 	"github.com/chronus-sdn/chronus/internal/api"
 	"github.com/chronus-sdn/chronus/internal/audit"
 	"github.com/chronus-sdn/chronus/internal/buildinfo"
+	"github.com/chronus-sdn/chronus/internal/clock"
 	"github.com/chronus-sdn/chronus/internal/health"
 	"github.com/chronus-sdn/chronus/internal/journal"
 	"github.com/chronus-sdn/chronus/internal/obs"
@@ -66,6 +67,7 @@ type server struct {
 	tracer  *chronus.Tracer
 	meter   *ofp.ConnMeter
 	health  *health.Engine
+	clocks  *clock.Estimator
 	journal *journal.Writer
 	log     *slog.Logger
 
@@ -130,6 +132,7 @@ func newServer(o serverOptions) (*server, error) {
 		tracer:  tracer,
 		meter:   ofp.NewConnMeter(reg),
 		health:  health.New(reg),
+		clocks:  clock.New(reg),
 		journal: jw,
 		log:     o.Log,
 		virtual: o.Virtual,
@@ -147,7 +150,25 @@ func newServer(o serverOptions) (*server, error) {
 		srv.Close()
 		return nil, err
 	}
+	srv.health.SetClock(srv.clocks)
+	// Boot-time clock probes: two rounds of timed no-op fires seed the
+	// per-switch estimators (offset, drift, jitter, barrier RTT) before
+	// the first update, inside the same settling window as before.
+	now := srv.tb.Now()
+	for _, at := range []chronus.SimTime{now + 60, now + 120} {
+		if err := srv.ctl.ProbeClocks("clockprobe", at, in.G.Nodes()...); err != nil {
+			srv.Close()
+			return nil, fmt.Errorf("clock probe: %w", err)
+		}
+	}
 	srv.tb.AdvanceBy(200)
+	// The probes have fired; drop their no-op rules so switch tables
+	// show only real flows, and fold the probe samples into estimates.
+	if err := srv.ctl.DeleteFlow("clockprobe", in.G.Nodes()...); err != nil {
+		srv.Close()
+		return nil, fmt.Errorf("clock probe cleanup: %w", err)
+	}
+	srv.clocks.Observe(srv.tracer.Events(srv.clocks.Cursor()))
 	return srv, nil
 }
 
@@ -189,6 +210,7 @@ func (s *server) handler() http.Handler {
 		"GET /trace":                 s.handleTrace,
 		"GET /spans":                 s.handleSpans,
 		"GET /health":                s.handleHealth,
+		"GET /clocks":                s.handleClocks,
 		"GET /audit":                 s.handleAudit,
 		"GET /schemes":               s.handleSchemes,
 		"GET /dash":                  s.handleDash,
@@ -262,10 +284,24 @@ func (s *server) handleSpans(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleHealth folds any trace events recorded since the last look
-// into the health engine and returns the verdict.
+// into the health engine (and the clock estimator its predictive
+// rules read from) and returns the verdict.
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.clocks.Observe(s.tracer.Events(s.clocks.Cursor()))
 	s.health.Observe(s.tracer.Events(s.health.Cursor()))
 	writeJSON(w, http.StatusOK, s.health.Verdict())
+}
+
+// handleClocks folds fresh trace events into the per-switch clock
+// estimators and returns their current offset/drift/jitter estimates.
+// In deterministic (virtual, no-wall) mode the response bytes are
+// fixed per seed.
+func (s *server) handleClocks(w http.ResponseWriter, r *http.Request) {
+	s.clocks.Observe(s.tracer.Events(s.clocks.Cursor()))
+	writeJSON(w, http.StatusOK, map[string]any{
+		"now":    s.tb.Now(),
+		"clocks": s.clocks.Estimates(),
+	})
 }
 
 // parsePaging reads the shared ?since= / ?limit= query parameters.
@@ -308,8 +344,10 @@ func (s *server) handleAudit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	// Refresh the health gauges so a scrape that never touches /health
-	// still sees current slack margins and burn state.
+	// Refresh the health and clock gauges so a scrape that never touches
+	// /health or /clocks still sees current margins and estimates.
+	s.clocks.Observe(s.tracer.Events(s.clocks.Cursor()))
+	s.clocks.Estimates()
 	s.health.Observe(s.tracer.Events(s.health.Cursor()))
 	s.health.Verdict()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -587,21 +625,25 @@ func (s *server) executePlanned(method string, root chronus.SpanID) error {
 		if report == nil {
 			report = chronus.Validate(s.in, res.Schedule)
 		}
-		plan := health.Plan{Kind: "timed", Valid: report.OK()}
-		for _, sl := range chronus.ScheduleSlack(s.in, res.Schedule) {
-			plan.Switches = append(plan.Switches, health.PlanSwitch{
-				Switch:     s.in.G.Name(sl.V),
-				SlackTicks: int64(sl.Slack),
-				Critical:   sl.Critical,
-			})
-		}
-		s.health.SetPlan(plan)
 		now := int64(s.tb.Now())
 		start := chronus.Tick(s.tb.Now()) + 50 // headroom past the control latency
 		sched := chronus.NewSchedule(start)
 		for v, tv := range res.Schedule.Times {
 			sched.Set(v, start+(tv-res.Schedule.Start))
 		}
+		plan := health.Plan{Kind: "timed", Valid: report.OK(), StartTick: now}
+		for _, sl := range chronus.ScheduleSlack(s.in, res.Schedule) {
+			plan.Switches = append(plan.Switches, health.PlanSwitch{
+				Switch:     s.in.G.Name(sl.V),
+				SlackTicks: int64(sl.Slack),
+				// The slack entry's Time is on the solver's own clock;
+				// shift it the same way the executed schedule is shifted
+				// so the forecast extrapolates to the real fire tick.
+				ApplyTick: int64(start + (sl.Time - res.Schedule.Start)),
+				Critical:  sl.Critical,
+			})
+		}
+		s.health.SetPlan(plan)
 		s.tracer.EmitSpan("plan", root, now, now,
 			obs.A("kind", "timed"), obs.A("switches", len(sched.Times)),
 			obs.A("start", int64(start)), obs.A("valid", report.OK()))

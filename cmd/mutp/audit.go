@@ -19,7 +19,7 @@ import (
 // actually did. It also prints the analytic per-switch slack so the
 // trace-derived critical path can be compared against the validator's
 // view of which activations are timing-critical.
-func runAudit(out io.Writer, in *chronus.Instance, s *chronus.Schedule, seed int64, jsonPath string) error {
+func runAudit(out io.Writer, in *chronus.Instance, s *chronus.Schedule, seed int64, jsonPath string, clocks bool) error {
 	tracer, err := executeOnTestbed(in, s, seed)
 	if err != nil {
 		return err
@@ -30,6 +30,9 @@ func runAudit(out io.Writer, in *chronus.Instance, s *chronus.Schedule, seed int
 	fmt.Fprintln(out)
 	rep.Render(out)
 	printSlack(out, in, s)
+	if clocks {
+		printClocks(out, tracer)
+	}
 	if jsonPath != "" {
 		return writeAuditJSON(rep, jsonPath)
 	}

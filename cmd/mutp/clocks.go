@@ -1,0 +1,24 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	chronus "github.com/chronus-sdn/chronus"
+	"github.com/chronus-sdn/chronus/internal/clock"
+)
+
+// printClocks feeds an executed trace through the clock-quality
+// estimator and renders the per-switch estimates — the offline twin of
+// chronusd's GET /clocks. Deterministic for a fixed instance and seed:
+// the trace carries virtual time only. One line per switch that fired a
+// timed update; milliticks are thousandths of a tick.
+func printClocks(out io.Writer, tracer *chronus.Tracer) {
+	est := clock.New(nil)
+	est.Observe(tracer.Events(0))
+	fmt.Fprintln(out, "\nclock quality (from timed-fire skew and barrier RTT; mticks = 1/1000 tick):")
+	for _, c := range est.Estimates() {
+		fmt.Fprintf(out, "  %-8s offset %-6d drift %-6d jitter %-6d rtt %-3d samples %d\n",
+			c.Switch, c.OffsetMilliTicks, c.DriftMilliTicksPerKtick, c.JitterMilliTicks, c.RTTTicks, c.Samples)
+	}
+}

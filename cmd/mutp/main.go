@@ -77,6 +77,7 @@ func run(args []string, out io.Writer) error {
 	auditRun := fs.Bool("audit", false, "execute the schedule on the emulated testbed and audit the trace for consistency violations")
 	auditJSON := fs.String("audit-json", "", "with -audit (or -audit-from): also write the audit report as JSON to this file")
 	auditFrom := fs.String("audit-from", "", "audit a captured JSONL trace file, or a chronusd journal directory, offline and exit")
+	clocksRun := fs.Bool("clocks", false, "with -audit: also print per-switch clock-quality estimates (offset, drift, jitter, barrier RTT) from the executed trace")
 	logLevel := fs.String("log-level", "", "enable structured diagnostics on stderr at this slog level (debug, info, warn, error)")
 	version := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
@@ -136,7 +137,7 @@ func run(args []string, out io.Writer) error {
 			traced = true
 		}
 		if *auditRun && sched != nil && !audited {
-			if err := runAudit(out, in, sched, *seed, *auditJSON); err != nil {
+			if err := runAudit(out, in, sched, *seed, *auditJSON, *clocksRun); err != nil {
 				return err
 			}
 			audited = true
@@ -147,6 +148,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *auditRun && !audited {
 		return errors.New("-audit needs a scheme that produced a feasible timed schedule (see -list-schemes; round- and decision-only schemes emit none)")
+	}
+	if *clocksRun && !*auditRun {
+		return errors.New("-clocks rides on the audit execution; pass -audit too")
 	}
 	return nil
 }

@@ -185,3 +185,26 @@ func TestCLIAllRunsEveryScheme(t *testing.T) {
 		}
 	}
 }
+
+// TestCLIClocksReport: -clocks rides on the audit execution and renders
+// one estimator line per switch that fired; it is deterministic for a
+// fixed seed and refuses to run without -audit.
+func TestCLIClocksReport(t *testing.T) {
+	out := runCLI(t, "-instance", "fig1", "-scheme", "chronus", "-audit", "-clocks")
+	if !strings.Contains(out, "clock quality (from timed-fire skew and barrier RTT") {
+		t.Fatalf("no clock-quality section:\n%s", out)
+	}
+	for _, sw := range []string{"v1", "v5"} {
+		if !strings.Contains(out, sw+"       offset") {
+			t.Errorf("no estimate line for %s:\n%s", sw, out)
+		}
+	}
+	again := runCLI(t, "-instance", "fig1", "-scheme", "chronus", "-audit", "-clocks")
+	if out != again {
+		t.Error("-audit -clocks output not deterministic across runs")
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-instance", "fig1", "-clocks"}, &buf); err == nil || !strings.Contains(err.Error(), "-audit") {
+		t.Fatalf("-clocks without -audit: err = %v, want mention of -audit", err)
+	}
+}

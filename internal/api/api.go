@@ -27,6 +27,7 @@ var Endpoints = []Endpoint{
 	{"GET", "/trace", "trace events: JSONL stream, or a JSON page with ?since= and ?limit="},
 	{"GET", "/spans", "causal span forest of recent updates, with ?since=/?limit= paging"},
 	{"GET", "/health", "live SLO verdict: slack margins, burn, OK/WARN/CRIT rules"},
+	{"GET", "/clocks", "per-switch clock-quality estimates: offset, drift, jitter, barrier RTT"},
 	{"GET", "/audit", "consistency audit of the trace ring (violations, critical path)"},
 	{"GET", "/schemes", "registered update schemes"},
 	{"GET", "/dash", "self-contained HTML dashboard (spans timeline + health tiles)"},

@@ -8,6 +8,7 @@ import (
 	"github.com/chronus-sdn/chronus/internal/dynflow"
 	"github.com/chronus-sdn/chronus/internal/emu"
 	"github.com/chronus-sdn/chronus/internal/graph"
+	"github.com/chronus-sdn/chronus/internal/obs"
 	"github.com/chronus-sdn/chronus/internal/sim"
 	"github.com/chronus-sdn/chronus/internal/timesync"
 	"github.com/chronus-sdn/chronus/internal/topo"
@@ -220,6 +221,51 @@ func newCoarseEnsemble(seed int64, in *dynflow.Instance) *timesync.Ensemble {
 
 var _ = sim.Time(0)
 var _ = emu.Rate(0)
+
+func TestProbeClocksEmitsSkewSamplesWithoutTraffic(t *testing.T) {
+	in := topo.Fig1Example()
+	h := NewHarness(in.G)
+	tr := obs.NewTracer(obs.TracerOptions{})
+	c := New(h, Options{Seed: 3, Trace: tr})
+	c.AttachAll(newCoarseEnsemble(3, in))
+	f := FlowSpec{Name: "f0", Tag: 0, Path: in.Init, Rate: 1}
+	if err := c.Provision(f); err != nil {
+		t.Fatal(err)
+	}
+	h.AdvanceTo(100)
+	before := totalDrops(h)
+	if err := c.ProbeClocks("clockprobe", 160, in.G.Nodes()...); err != nil {
+		t.Fatalf("ProbeClocks: %v", err)
+	}
+	h.AdvanceTo(300)
+	// Every switch fired its probe: one sw.apply per node, each tagged
+	// with the probe flow, and the data plane is untouched.
+	applies := map[string]bool{}
+	for _, ev := range tr.Events(0) {
+		if ev.Name != "sw.apply" {
+			continue
+		}
+		var sw, key string
+		for _, a := range ev.Attrs {
+			switch a.K {
+			case "switch":
+				sw = a.V
+			case "key":
+				key = a.V
+			}
+		}
+		if strings.HasPrefix(key, "clockprobe") {
+			applies[sw] = true
+		}
+	}
+	if len(applies) != len(in.G.Nodes()) {
+		t.Fatalf("probe applies from %d switches, want %d: %v", len(applies), len(in.G.Nodes()), applies)
+	}
+	if drops := totalDrops(h); drops != before {
+		t.Fatalf("probe caused drops: %f -> %f", before, drops)
+	}
+	noOverloads(t, h)
+}
 
 func TestPacketInOnBlackhole(t *testing.T) {
 	in, h, c, f := setupFig1(t, 7)

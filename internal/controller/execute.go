@@ -208,6 +208,40 @@ func (c *Controller) ExecuteTwoPhase(in *dynflow.Instance, f FlowSpec, newTag em
 	return c.Barrier(in.Init...)
 }
 
+// ProbeClocks sends every listed switch one timed no-op FlowMod (a
+// host-action rule on a dedicated probe flow that carries no traffic)
+// scheduled for the same reference tick, followed by a barrier. The
+// timed fires emit sw.apply events whose skew samples — and the
+// barrier's send/receive span pair — feed the clock-quality estimator
+// (internal/clock) without disturbing any real flow. The caller
+// advances virtual time past `at` for the fires to happen.
+func (c *Controller) ProbeClocks(flow string, at sim.Time, ids ...graph.NodeID) (err error) {
+	defer c.beginExecute("clockprobe", len(ids), &err)()
+	for _, v := range ids {
+		if _, err := c.send(v, &ofp.FlowMod{
+			Command: ofp.FlowAdd, Flow: flow, Action: ofp.ActionToHost,
+			ExecuteAt: int64(at),
+		}); err != nil {
+			return err
+		}
+	}
+	return c.Barrier(ids...)
+}
+
+// DeleteFlow removes the named flow's untagged rule from every listed
+// switch and barriers. ProbeClocks callers use it to garbage-collect
+// the probe rules once the scheduled fires have happened.
+func (c *Controller) DeleteFlow(flow string, ids ...graph.NodeID) error {
+	for _, v := range ids {
+		if _, err := c.send(v, &ofp.FlowMod{
+			Command: ofp.FlowDelete, Flow: flow,
+		}); err != nil {
+			return err
+		}
+	}
+	return c.Barrier(ids...)
+}
+
 // Sample is one bandwidth measurement of a link.
 type Sample struct {
 	At   sim.Time

@@ -1,0 +1,105 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSkewAdversarySemantics pins the adversary's story on seed 11: the
+// zero-error level is clean by all three judges, every past-slack level
+// is forecast to WARN before a single update FlowMod fires, and the
+// health engine first reaches CRIT on exactly the sweep step where the
+// trace auditor first reports a real violation.
+func TestSkewAdversarySemantics(t *testing.T) {
+	pts, err := SkewAdversary(Quick(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(skewAdvErrorsTicks) {
+		t.Fatalf("got %d points, want %d", len(pts), len(skewAdvErrorsTicks))
+	}
+
+	// Level 0: perfectly synced clocks — clean across the board.
+	base := pts[0]
+	if base.ErrorTicks != 0 || base.PreLevel != "OK" || base.PostLevel != "OK" ||
+		!base.AuditOK || base.Violations != 0 || base.PredictedMarginMilliTicks != 0 {
+		t.Fatalf("zero-error level not clean: %+v", base)
+	}
+
+	firstCrit, firstFail := -1, -1
+	for i, p := range pts {
+		if p.PostLevel == "CRIT" && firstCrit < 0 {
+			firstCrit = i
+		}
+		if !p.AuditOK && firstFail < 0 {
+			firstFail = i
+		}
+		if p.ErrorTicks == 0 {
+			continue
+		}
+		// Every past-slack level must be forecast before execution: the
+		// probes alone reveal the injected error, so the engine is WARN
+		// with a negative predicted margin while zero FlowMods are late.
+		if p.PreLevel != "WARN" {
+			t.Errorf("error=%d pre-execution level = %s, want WARN (forecast)", p.ErrorTicks, p.PreLevel)
+		}
+		if p.PredictedMarginMilliTicks >= 0 {
+			t.Errorf("error=%d predicted margin = %d mticks, want < 0", p.ErrorTicks, p.PredictedMarginMilliTicks)
+		}
+	}
+	if firstCrit < 0 || firstFail < 0 {
+		t.Fatalf("sweep never escalated: firstCrit=%d firstFail=%d\n%s", firstCrit, firstFail, SkewAdvTable(pts).String())
+	}
+	// The acceptance pin: health reaches CRIT on the same sweep step
+	// where the auditor first reports a violation — no earlier (crying
+	// wolf) and no later (missing real damage).
+	if firstCrit != firstFail {
+		t.Errorf("first CRIT at step %d (error=%d) but first audit FAIL at step %d (error=%d)\n%s",
+			firstCrit, pts[firstCrit].ErrorTicks, firstFail, pts[firstFail].ErrorTicks, SkewAdvTable(pts).String())
+	}
+	esc := pts[firstFail]
+	if esc.Violations < 1 || esc.ObservedMarginTicks >= 0 {
+		t.Errorf("escalation step lacks evidence: %+v", esc)
+	}
+	// The largest injected error must be unambiguous by both judges.
+	last := pts[len(pts)-1]
+	if last.PostLevel != "CRIT" || last.AuditOK || last.Violations < 1 {
+		t.Errorf("max-error level = %+v, want CRIT with audit violations", last)
+	}
+}
+
+// TestSkewAdvTableRendering checks the PASS/FAIL rendering and the
+// header contract the CI gate greps for.
+func TestSkewAdvTableRendering(t *testing.T) {
+	tab := SkewAdvTable([]SkewAdvPoint{
+		{ErrorTicks: 0, PreLevel: "OK", PostLevel: "OK", AuditOK: true},
+		{ErrorTicks: 8, PredictedMarginMilliTicks: -1500, PreLevel: "WARN", PostLevel: "CRIT",
+			ObservedMarginTicks: -2, AuditOK: false, Violations: 3},
+	})
+	out := tab.String()
+	for _, want := range []string{"error_ticks", "predicted_margin_mticks", "pre_level", "post_level", "audit", "PASS", "FAIL", "-1500"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	csv := tab.CSV()
+	if !strings.Contains(csv, "8,-1500,WARN,CRIT,-2,FAIL,3") {
+		t.Errorf("csv row mismatch:\n%s", csv)
+	}
+}
+
+// TestSkewAdversaryDeterministicAcrossProcs: the sweep's CSV must be
+// byte-identical at any worker count for a fixed seed.
+func TestSkewAdversaryDeterministicAcrossProcs(t *testing.T) {
+	sc, pc := determinismConfigs()
+	ps, err := SkewAdversary(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := SkewAdversary(pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameTable(t, "skewadv table", SkewAdvTable(ps).String(), SkewAdvTable(pp).String())
+	assertSameTable(t, "skewadv csv", SkewAdvTable(ps).CSV(), SkewAdvTable(pp).CSV())
+}

@@ -10,6 +10,12 @@
 // — an invalid plan is CRIT before its first FlowMod is sent, a
 // critical-path switch firing late is CRIT at the apply event, and
 // half the slack consumed is already WARN.
+//
+// With a ClockSource attached (internal/clock), the engine goes one
+// step earlier still: it extrapolates each switch's estimated clock
+// offset and drift to that switch's scheduled apply tick and degrades
+// to WARN when the *predicted* skew already exceeds the slack — before
+// the first late apply, not after.
 package health
 
 import (
@@ -47,12 +53,31 @@ func (l Level) String() string {
 // by observed skew before the engine degrades to WARN.
 const warnBurnPct = 50
 
+// SkewWindow is how many recent applies the windowed worst-skew view
+// spans. A transient spike ages out of margins and burn after this many
+// clean applies; the all-time maximum stays visible separately.
+const SkewWindow = 8
+
+// ClockSource supplies predictive clock-quality estimates (implemented
+// by internal/clock's Estimator). Skews and margins are in milliticks.
+type ClockSource interface {
+	// PredictSkew bounds |skew| expected at atTick; ok is false when no
+	// estimate exists for the switch yet.
+	PredictSkew(sw string, atTick int64) (milliTicks int64, ok bool)
+	// TicksToViolation forecasts how many ticks after fromTick the
+	// predicted skew crosses slackTicks: 0 = already past, -1 = never.
+	TicksToViolation(sw string, slackTicks, fromTick int64) int64
+}
+
 // PlanSwitch is one switch's promise in a plan: its scheduled slack.
 type PlanSwitch struct {
 	Switch string `json:"switch"`
 	// SlackTicks is how many ticks this switch's activation may slip
 	// before the validator reports a violation.
 	SlackTicks int64 `json:"slack_ticks"`
+	// ApplyTick is the reference tick the switch is scheduled to fire
+	// at (0 when unknown); the forecast extrapolates clock error there.
+	ApplyTick int64 `json:"apply_tick,omitempty"`
 	// Critical marks zero-slack switches (any slip breaks the update).
 	Critical bool `json:"critical"`
 }
@@ -69,6 +94,9 @@ type Plan struct {
 	Valid bool `json:"valid"`
 	// Switches lists the per-switch promises of a timed plan.
 	Switches []PlanSwitch `json:"switches,omitempty"`
+	// StartTick is the reference tick the plan was armed at; forecasts
+	// count time-to-violation from here.
+	StartTick int64 `json:"start_tick,omitempty"`
 }
 
 // SwitchHealth is the live margin of one switch.
@@ -76,8 +104,12 @@ type SwitchHealth struct {
 	Switch string `json:"switch"`
 	// SlackTicks is the plan's promise.
 	SlackTicks int64 `json:"slack_ticks"`
-	// WorstSkewTicks is the largest absolute fire skew observed so far.
+	// WorstSkewTicks is the largest absolute fire skew within the last
+	// SkewWindow applies — a spike ages out once clean fires follow it.
 	WorstSkewTicks int64 `json:"worst_skew_ticks"`
+	// WorstEverSkewTicks is the all-time maximum for this plan; it never
+	// decays and is what the margin-violation (CRIT) rule judges.
+	WorstEverSkewTicks int64 `json:"worst_skew_ever_ticks"`
 	// MarginTicks is SlackTicks - WorstSkewTicks; negative means the
 	// validator's tolerance is provably exceeded.
 	MarginTicks int64 `json:"margin_ticks"`
@@ -88,6 +120,20 @@ type SwitchHealth struct {
 	Critical bool `json:"critical"`
 	// Applies counts observed rule applications on this switch.
 	Applies int64 `json:"applies"`
+	// ApplyTick echoes the plan's scheduled fire tick (0 when unknown).
+	ApplyTick int64 `json:"apply_tick,omitempty"`
+	// Forecast marks that a clock estimate existed for this switch and
+	// the predictive fields below are meaningful.
+	Forecast bool `json:"forecast,omitempty"`
+	// PredictedSkewMilliTicks bounds |skew| the clock estimator expects
+	// at ApplyTick (milliticks).
+	PredictedSkewMilliTicks int64 `json:"predicted_skew_mticks,omitempty"`
+	// PredictedMarginMilliTicks is SlackTicks*1000 minus the predicted
+	// skew; negative forecasts a violation before it is observed.
+	PredictedMarginMilliTicks int64 `json:"predicted_margin_mticks,omitempty"`
+	// TTVTicks is the forecast time-to-violation counted from the
+	// plan's StartTick: 0 = already past the slack, -1 = never.
+	TTVTicks int64 `json:"ttv_ticks,omitempty"`
 }
 
 // Verdict is the machine-readable /health payload.
@@ -102,6 +148,10 @@ type Verdict struct {
 	// gating switch.
 	WorstSwitch      string `json:"worst_switch,omitempty"`
 	WorstMarginTicks int64  `json:"worst_margin_ticks"`
+	// PredictedWorstMarginMilliTicks is the smallest forecast margin
+	// across switches with clock estimates (milliticks); only set when
+	// a ClockSource is attached and at least one forecast exists.
+	PredictedWorstMarginMilliTicks int64 `json:"predicted_worst_margin_mticks,omitempty"`
 	// Switches reports per-switch margins, ascending by name.
 	Switches []SwitchHealth `json:"switches,omitempty"`
 	// Disconnects counts control sessions lost since the plan was set.
@@ -113,9 +163,11 @@ type Verdict struct {
 type Engine struct {
 	mu          sync.Mutex
 	reg         *obs.Registry
+	clock       ClockSource
 	plan        *Plan
 	slack       map[string]PlanSwitch
-	skew        map[string]int64
+	skews       map[string][]int64 // last SkewWindow absolute skews
+	skewEver    map[string]int64   // all-time max for this plan
 	applies     map[string]int64
 	disconnects int64
 	cursor      uint64
@@ -128,12 +180,26 @@ func New(reg *obs.Registry) *Engine {
 	reg.Help("chronus_health_level", "Overall health verdict: 0 OK, 1 WARN, 2 CRIT.")
 	reg.Help("chronus_health_worst_margin_ticks", "Smallest per-switch slack margin (the live gating switch).")
 	reg.Help("chronus_health_burn_worst_pct", "Largest per-switch slack burn percentage.")
+	reg.Help("chronus_health_predicted_worst_margin_ticks", "Smallest forecast slack margin from the clock estimator, extrapolated to each switch's scheduled apply tick.")
 	return &Engine{
-		reg:     reg,
-		slack:   map[string]PlanSwitch{},
-		skew:    map[string]int64{},
-		applies: map[string]int64{},
+		reg:      reg,
+		slack:    map[string]PlanSwitch{},
+		skews:    map[string][]int64{},
+		skewEver: map[string]int64{},
+		applies:  map[string]int64{},
 	}
+}
+
+// SetClock attaches the clock-quality estimator the predictive rules
+// read from. Safe to leave unset: the engine then judges observed skew
+// only, as before.
+func (e *Engine) SetClock(c ClockSource) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.clock = c
 }
 
 // SetPlan arms the engine with a new plan and clears the observations
@@ -147,7 +213,8 @@ func (e *Engine) SetPlan(p Plan) {
 	defer e.mu.Unlock()
 	e.plan = &p
 	e.slack = map[string]PlanSwitch{}
-	e.skew = map[string]int64{}
+	e.skews = map[string][]int64{}
+	e.skewEver = map[string]int64{}
 	e.applies = map[string]int64{}
 	e.disconnects = 0
 	for _, s := range p.Switches {
@@ -200,11 +267,16 @@ func (e *Engine) Observe(events []obs.Event) {
 				skew = -skew
 			}
 			e.applies[sw]++
-			if skew > e.skew[sw] {
-				e.skew[sw] = skew
+			ring := append(e.skews[sw], skew)
+			if len(ring) > SkewWindow {
+				ring = ring[len(ring)-SkewWindow:]
+			}
+			e.skews[sw] = ring
+			if skew > e.skewEver[sw] {
+				e.skewEver[sw] = skew
 			}
 			if p, ok := e.slack[sw]; ok {
-				e.reg.Gauge(fmt.Sprintf("chronus_slack_margin_ticks{switch=%q}", sw)).Set(p.SlackTicks - e.skew[sw])
+				e.reg.Gauge(fmt.Sprintf("chronus_slack_margin_ticks{switch=%q}", sw)).Set(p.SlackTicks - e.windowedSkew(sw))
 			}
 		case "ctl.disconnect":
 			e.disconnects++
@@ -212,15 +284,32 @@ func (e *Engine) Observe(events []obs.Event) {
 	}
 }
 
+// windowedSkew returns the worst absolute skew within the last
+// SkewWindow applies of sw. Callers hold e.mu.
+func (e *Engine) windowedSkew(sw string) int64 {
+	var worst int64
+	for _, s := range e.skews[sw] {
+		if s > worst {
+			worst = s
+		}
+	}
+	return worst
+}
+
 // Verdict evaluates the rules table and mirrors the summary gauges.
 // The rules, in severity order:
 //
 //	CRIT  plan known invalid (validator violations at plan time)
 //	CRIT  control session lost during the update
-//	CRIT  margin < 0 on any switch (skew provably past the tolerance;
-//	      a critical switch slipping at all is this rule with slack 0)
+//	CRIT  all-time margin < 0 on any switch (skew provably past the
+//	      tolerance at some point of this plan — the violation is a
+//	      fact and does not age out; a critical switch slipping at all
+//	      is this rule with slack 0)
 //	WARN  plan executes without timing guarantees (kind "rounds")
-//	WARN  burn >= 50% of slack on any switch
+//	WARN  clock forecast predicts skew past the slack at a switch's
+//	      scheduled apply tick (fires before the first late apply)
+//	WARN  burn >= 50% of slack on any switch, judged on the windowed
+//	      worst skew so a transient spike recovers
 //	OK    otherwise
 func (e *Engine) Verdict() Verdict {
 	if e == nil {
@@ -263,10 +352,12 @@ func (e *Engine) Verdict() Verdict {
 	}
 	sort.Strings(names)
 	worstMargin, worstBurn := int64(0), int64(0)
+	predWorst, anyForecast := int64(0), false
 	first := true
 	for _, name := range names {
 		p := e.slack[name]
-		skew := e.skew[name]
+		skew := e.windowedSkew(name)
+		ever := e.skewEver[name]
 		margin := p.SlackTicks - skew
 		burn := int64(0)
 		if p.SlackTicks > 0 {
@@ -275,13 +366,31 @@ func (e *Engine) Verdict() Verdict {
 			burn = 100
 		}
 		sh := SwitchHealth{
-			Switch:         name,
-			SlackTicks:     p.SlackTicks,
-			WorstSkewTicks: skew,
-			MarginTicks:    margin,
-			BurnPct:        burn,
-			Critical:       p.Critical,
-			Applies:        e.applies[name],
+			Switch:             name,
+			SlackTicks:         p.SlackTicks,
+			WorstSkewTicks:     skew,
+			WorstEverSkewTicks: ever,
+			MarginTicks:        margin,
+			BurnPct:            burn,
+			Critical:           p.Critical,
+			Applies:            e.applies[name],
+			ApplyTick:          p.ApplyTick,
+		}
+		if e.clock != nil && p.ApplyTick > 0 {
+			if pred, ok := e.clock.PredictSkew(name, p.ApplyTick); ok {
+				sh.Forecast = true
+				sh.PredictedSkewMilliTicks = pred
+				sh.PredictedMarginMilliTicks = p.SlackTicks*1000 - pred
+				sh.TTVTicks = e.clock.TicksToViolation(name, p.SlackTicks, plan.StartTick)
+				if !anyForecast || sh.PredictedMarginMilliTicks < predWorst {
+					predWorst = sh.PredictedMarginMilliTicks
+					anyForecast = true
+				}
+				if sh.PredictedMarginMilliTicks < 0 {
+					raise(Warn, fmt.Sprintf("switch %s forecast to skew %d mticks at tick %d, past its %d-tick slack (ttv %d)",
+						name, pred, p.ApplyTick, p.SlackTicks, sh.TTVTicks))
+				}
+			}
 		}
 		v.Switches = append(v.Switches, sh)
 		if first || margin < worstMargin {
@@ -292,20 +401,35 @@ func (e *Engine) Verdict() Verdict {
 		if burn > worstBurn {
 			worstBurn = burn
 		}
-		if margin < 0 {
-			raise(Crit, fmt.Sprintf("switch %s skewed %d ticks past its %d-tick slack", name, skew, p.SlackTicks))
+		if p.SlackTicks-ever < 0 {
+			raise(Crit, fmt.Sprintf("switch %s skewed %d ticks past its %d-tick slack", name, ever, p.SlackTicks))
 		} else if burn >= warnBurnPct {
 			raise(Warn, fmt.Sprintf("switch %s burned %d%% of its slack", name, burn))
 		}
 	}
 	v.WorstMarginTicks = worstMargin
+	if anyForecast {
+		v.PredictedWorstMarginMilliTicks = predWorst
+	}
 
 	if len(v.Reasons) == 0 {
 		raise(OK, "all margins inside slack")
 	}
 	v.Level = level.String()
 	e.setSummaryGauges(level, worstMargin, worstBurn)
+	if anyForecast {
+		e.reg.Gauge("chronus_health_predicted_worst_margin_ticks").Set(roundMilli(predWorst))
+	}
 	return v
+}
+
+// roundMilli converts milliticks to whole ticks, rounding half away
+// from zero.
+func roundMilli(m int64) int64 {
+	if m >= 0 {
+		return (m + 500) / 1000
+	}
+	return -((-m + 500) / 1000)
 }
 
 func (e *Engine) setSummaryGauges(level Level, worstMargin, worstBurn int64) {

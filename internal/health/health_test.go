@@ -103,6 +103,135 @@ func TestMarginBurnAndCrit(t *testing.T) {
 	}
 }
 
+func TestWindowedSkewRecovers(t *testing.T) {
+	reg := obs.NewRegistry()
+	e := New(reg)
+	e.SetPlan(Plan{Kind: "timed", Valid: true, Switches: []PlanSwitch{
+		{Switch: "R1", SlackTicks: 10},
+	}})
+	// One transient 6-tick spike: 60% burn, WARN.
+	e.Observe([]obs.Event{applyEvent(1, "R1", 6)})
+	v := e.Verdict()
+	if v.Level != "WARN" {
+		t.Fatalf("spike level = %s: %v", v.Level, v.Reasons)
+	}
+	if v.Switches[0].WorstSkewTicks != 6 || v.Switches[0].WorstEverSkewTicks != 6 {
+		t.Fatalf("spike skews = %+v", v.Switches[0])
+	}
+	// SkewWindow clean applies push the spike out of the window: the
+	// live margin recovers to OK while the all-time max stays visible.
+	evs := make([]obs.Event, 0, SkewWindow)
+	for i := 0; i < SkewWindow; i++ {
+		evs = append(evs, applyEvent(uint64(2+i), "R1", 0))
+	}
+	e.Observe(evs)
+	v = e.Verdict()
+	if v.Level != "OK" {
+		t.Fatalf("recovered level = %s: %v", v.Level, v.Reasons)
+	}
+	sh := v.Switches[0]
+	if sh.WorstSkewTicks != 0 || sh.MarginTicks != 10 || sh.BurnPct != 0 {
+		t.Fatalf("recovered health = %+v", sh)
+	}
+	if sh.WorstEverSkewTicks != 6 {
+		t.Fatalf("all-time max lost: %+v", sh)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `chronus_slack_margin_ticks{switch="R1"} 10`+"\n") {
+		t.Errorf("margin gauge did not recover:\n%s", b.String())
+	}
+}
+
+func TestViolationDoesNotAgeOut(t *testing.T) {
+	// A skew past the slack is a fact about this plan: CRIT must hold
+	// even after the spike leaves the recovery window.
+	e := New(nil)
+	e.SetPlan(Plan{Kind: "timed", Valid: true, Switches: []PlanSwitch{
+		{Switch: "R1", SlackTicks: 3},
+	}})
+	e.Observe([]obs.Event{applyEvent(1, "R1", 5)})
+	evs := make([]obs.Event, 0, SkewWindow)
+	for i := 0; i < SkewWindow; i++ {
+		evs = append(evs, applyEvent(uint64(2+i), "R1", 0))
+	}
+	e.Observe(evs)
+	v := e.Verdict()
+	if v.Level != "CRIT" {
+		t.Fatalf("aged-out violation level = %s: %v", v.Level, v.Reasons)
+	}
+	if v.Switches[0].WorstSkewTicks != 0 || v.Switches[0].WorstEverSkewTicks != 5 {
+		t.Fatalf("skews = %+v", v.Switches[0])
+	}
+}
+
+// stubClock is a canned ClockSource for forecast tests.
+type stubClock struct {
+	pred map[string]int64
+	ttv  int64
+}
+
+func (s stubClock) PredictSkew(sw string, atTick int64) (int64, bool) {
+	p, ok := s.pred[sw]
+	return p, ok
+}
+
+func (s stubClock) TicksToViolation(sw string, slackTicks, fromTick int64) int64 {
+	return s.ttv
+}
+
+func TestForecastWarnsBeforeLateApply(t *testing.T) {
+	reg := obs.NewRegistry()
+	e := New(reg)
+	// R1's clock is forecast to be 7.5 ticks off at its apply tick but
+	// only has 5 ticks of slack: WARN with zero applies observed.
+	e.SetClock(stubClock{pred: map[string]int64{"R1": 7500}, ttv: 42})
+	e.SetPlan(Plan{Kind: "timed", Valid: true, StartTick: 100, Switches: []PlanSwitch{
+		{Switch: "R1", SlackTicks: 5, ApplyTick: 400},
+		{Switch: "R2", SlackTicks: 5, ApplyTick: 400}, // no estimate: no forecast
+	}})
+	v := e.Verdict()
+	if v.Level != "WARN" {
+		t.Fatalf("forecast level = %s: %v", v.Level, v.Reasons)
+	}
+	sh := v.Switches[0]
+	if !sh.Forecast || sh.PredictedSkewMilliTicks != 7500 || sh.PredictedMarginMilliTicks != -2500 || sh.TTVTicks != 42 {
+		t.Fatalf("forecast fields = %+v", sh)
+	}
+	if sh.Applies != 0 || sh.WorstSkewTicks != 0 {
+		t.Fatalf("forecast must precede any observed apply: %+v", sh)
+	}
+	if v.Switches[1].Forecast {
+		t.Fatalf("R2 has no estimate, forecast = %+v", v.Switches[1])
+	}
+	if v.PredictedWorstMarginMilliTicks != -2500 {
+		t.Fatalf("predicted worst margin = %d, want -2500", v.PredictedWorstMarginMilliTicks)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "chronus_health_predicted_worst_margin_ticks -3\n") {
+		t.Errorf("predicted gauge missing (-2500 mticks rounds to -3):\n%s", b.String())
+	}
+
+	// A healthy forecast stays OK and still reports the margin.
+	e2 := New(nil)
+	e2.SetClock(stubClock{pred: map[string]int64{"R1": 2000}, ttv: -1})
+	e2.SetPlan(Plan{Kind: "timed", Valid: true, StartTick: 100, Switches: []PlanSwitch{
+		{Switch: "R1", SlackTicks: 5, ApplyTick: 400},
+	}})
+	v2 := e2.Verdict()
+	if v2.Level != "OK" {
+		t.Fatalf("healthy forecast level = %s: %v", v2.Level, v2.Reasons)
+	}
+	if v2.PredictedWorstMarginMilliTicks != 3000 || v2.Switches[0].TTVTicks != -1 {
+		t.Fatalf("healthy forecast = %+v", v2.Switches[0])
+	}
+}
+
 func TestRoundsPlanWarnsAndDisconnectCrits(t *testing.T) {
 	e := New(nil) // nil registry: engine still works
 	e.SetPlan(Plan{Kind: "rounds", Valid: true})

@@ -12,7 +12,10 @@ type agentMetrics struct {
 	timed     *obs.Counter
 	barriers  *obs.Counter
 	statsReqs *obs.Counter
-	fireSkew  *obs.Histogram
+	fireSkew   *obs.Histogram
+	skewEarly  *obs.Counter
+	skewLate   *obs.Counter
+	skewOnTime *obs.Counter
 }
 
 // RegisterMetrics pre-registers the switch-agent metric families on r so
@@ -27,13 +30,19 @@ func newAgentMetrics(r *obs.Registry) agentMetrics {
 		r.Help("chronus_switchd_barriers_total", "barrier requests answered by agents")
 		r.Help("chronus_switchd_stats_requests_total", "statistics requests answered by agents")
 		r.Help("chronus_switchd_fire_skew_ticks", "absolute skew between a timed FlowMod's requested and actual apply tick")
+		r.Help("chronus_switchd_fire_skew_sign_total", "timed fires by skew direction: early (local clock fast), late (slow or clamped), ontime")
 	}
 	return agentMetrics{
 		immediate: r.Counter(`chronus_switchd_flowmods_total{kind="immediate"}`),
 		timed:     r.Counter(`chronus_switchd_flowmods_total{kind="timed"}`),
 		barriers:  r.Counter("chronus_switchd_barriers_total"),
 		statsReqs: r.Counter("chronus_switchd_stats_requests_total"),
-		fireSkew:  r.Histogram("chronus_switchd_fire_skew_ticks", []float64{0, 1, 2, 4, 8, 16, 32, 64}),
+		// Adversary sweeps push skew to hundreds of ticks; keep the top
+		// buckets wide enough that those fires don't all land in +Inf.
+		fireSkew:   r.Histogram("chronus_switchd_fire_skew_ticks", []float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}),
+		skewEarly:  r.Counter(`chronus_switchd_fire_skew_sign_total{sign="early"}`),
+		skewLate:   r.Counter(`chronus_switchd_fire_skew_sign_total{sign="late"}`),
+		skewOnTime: r.Counter(`chronus_switchd_fire_skew_sign_total{sign="ontime"}`),
 	}
 }
 

@@ -210,6 +210,14 @@ func (a *Agent) flowMod(m *ofp.FlowMod) error {
 			abs = -abs
 		}
 		a.met.fireSkew.Observe(float64(abs))
+		switch {
+		case skew < 0:
+			a.met.skewEarly.Inc()
+		case skew > 0:
+			a.met.skewLate.Inc()
+		default:
+			a.met.skewOnTime.Inc()
+		}
 		if a.trace != nil {
 			fire := int64(a.net.K.Now())
 			a.trace.Point(fire, "sw.apply",

@@ -1,0 +1,163 @@
+package timesync_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/chronus-sdn/chronus/internal/clock"
+	"github.com/chronus-sdn/chronus/internal/graph"
+	"github.com/chronus-sdn/chronus/internal/obs"
+	"github.com/chronus-sdn/chronus/internal/sim"
+	"github.com/chronus-sdn/chronus/internal/timesync"
+)
+
+// applyEvent mirrors the sw.apply point event switchd emits for a timed
+// fire: the estimator's only offset signal.
+func applyEvent(seq uint64, sw string, at, skew int64) obs.Event {
+	return obs.Event{
+		Seq: seq, VT: at + skew, Name: "sw.apply",
+		Attrs: []obs.Attr{
+			obs.A("switch", sw), obs.A("skew", skew), obs.A("at", at),
+			obs.A("key", "f/0"), obs.A("cmd", "mod"),
+		},
+	}
+}
+
+// feed schedules fires at the given reference ticks, maps each through the
+// ensemble's skewed clock, and feeds the resulting (at, skew) pairs plus
+// optional per-sample noise ticks into a fresh estimator.
+func feed(t *testing.T, ens *timesync.Ensemble, v graph.NodeID, ats []int64, noise []int64) *clock.Estimator {
+	t.Helper()
+	est := clock.New(nil)
+	for i, at := range ats {
+		actual := int64(ens.ApplyTick(v, sim.Time(at)))
+		if noise != nil {
+			actual += noise[i]
+		}
+		est.Observe([]obs.Event{applyEvent(uint64(i+1), "R1", at, actual-at)})
+	}
+	return est
+}
+
+// TestEstimatorConvergesToInjectedDrift pins a known drift rate on one
+// switch clock and checks the estimator's slope converges to it: a local
+// clock running fast by d ppb fires early by d*T/1e9 ticks at reference
+// tick T, i.e. a skew slope of -d/1000 mticks per ktick.
+func TestEstimatorConvergesToInjectedDrift(t *testing.T) {
+	v := graph.NodeID(3)
+	ens := timesync.New(timesync.Params{
+		Seed:           1,
+		SyncIntervalNs: 1 << 60, // one epoch: offset stays linear in time
+		SyncErrorNs:    0,
+		DriftPPB:       0,
+	}, []graph.NodeID{v})
+	const driftPPB = 5_000_000 // 5000 ppm, exaggerated so ticks resolve it
+	ens.SetDrift(v, driftPPB)
+	if got := ens.Drift(v); got != driftPPB {
+		t.Fatalf("Drift = %d, want %d", got, driftPPB)
+	}
+
+	ats := make([]int64, clock.Window)
+	for i := range ats {
+		ats[i] = int64(1000 + 100*i)
+	}
+	est := feed(t, ens, v, ats, nil)
+
+	sc, ok := est.Estimate("R1")
+	if !ok {
+		t.Fatal("no estimate")
+	}
+	// Expected slope -5000 mticks/ktick; tick rounding and the 1/(1+d/1e9)
+	// correction keep the fit within +-500.
+	const want = -driftPPB / 1000
+	if sc.DriftMilliTicksPerKtick < want-500 || sc.DriftMilliTicksPerKtick > want+500 {
+		t.Errorf("drift = %d mticks/ktick, want %d +- 500", sc.DriftMilliTicksPerKtick, want)
+	}
+	// A fast clock fires early: every skew is negative, so the offset
+	// estimate must be firmly negative too.
+	if sc.OffsetMilliTicks >= 0 {
+		t.Errorf("offset = %d mticks, want < 0 for a fast clock", sc.OffsetMilliTicks)
+	}
+	// The prediction must extrapolate the trend: farther horizon, larger
+	// worst-case skew bound.
+	near, _ := est.PredictSkew("R1", 5000)
+	far, _ := est.PredictSkew("R1", 10000)
+	if far <= near {
+		t.Errorf("PredictSkew not growing with horizon: near=%d far=%d", near, far)
+	}
+}
+
+// TestEstimatorConvergesUnderDriftAndJitter layers bounded per-fire noise
+// on top of the linear drift (non-constant offset) and checks the slope
+// still converges within a pinned tolerance while the jitter estimate
+// picks up the noise floor.
+func TestEstimatorConvergesUnderDriftAndJitter(t *testing.T) {
+	v := graph.NodeID(3)
+	ens := timesync.New(timesync.Params{
+		Seed:           1,
+		SyncIntervalNs: 1 << 60,
+		SyncErrorNs:    0,
+		DriftPPB:       0,
+	}, []graph.NodeID{v})
+	const driftPPB = 5_000_000
+	ens.SetDrift(v, driftPPB)
+
+	ats := make([]int64, clock.Window)
+	noise := make([]int64, clock.Window)
+	rng := rand.New(rand.NewSource(7))
+	for i := range ats {
+		ats[i] = int64(1000 + 100*i)
+		noise[i] = rng.Int63n(3) - 1 // +-1 tick of fire jitter
+	}
+	est := feed(t, ens, v, ats, noise)
+
+	sc, ok := est.Estimate("R1")
+	if !ok {
+		t.Fatal("no estimate")
+	}
+	const want = -driftPPB / 1000
+	if sc.DriftMilliTicksPerKtick < want-1000 || sc.DriftMilliTicksPerKtick > want+1000 {
+		t.Errorf("drift under jitter = %d mticks/ktick, want %d +- 1000", sc.DriftMilliTicksPerKtick, want)
+	}
+	if sc.JitterMilliTicks < 500 {
+		t.Errorf("jitter = %d mticks, want >= 500 with +-1 tick noise", sc.JitterMilliTicks)
+	}
+}
+
+// TestEstimatorTracksEpochOffsets drives the estimator across sync epochs
+// with a pure offset error (no drift): every epoch re-draws an offset in
+// [-E, +E], so the estimated offset must stay within E plus rounding and
+// the fitted slope must stay near zero.
+func TestEstimatorTracksEpochOffsets(t *testing.T) {
+	v := graph.NodeID(5)
+	const errNs = 3 * timesync.TickNs // +-3 ticks of sync error
+	ens := timesync.New(timesync.Params{
+		Seed:           9,
+		SyncIntervalNs: 40 * timesync.TickNs, // new epoch every 40 ticks
+		SyncErrorNs:    errNs,
+		DriftPPB:       0,
+	}, []graph.NodeID{v})
+
+	ats := make([]int64, clock.Window)
+	for i := range ats {
+		ats[i] = int64(100 + 50*i) // crosses an epoch boundary most samples
+	}
+	est := feed(t, ens, v, ats, nil)
+
+	sc, ok := est.Estimate("R1")
+	if !ok {
+		t.Fatal("no estimate")
+	}
+	// |offset| bounded by the sync error (3 ticks) plus rounding.
+	if sc.OffsetMilliTicks < -3500 || sc.OffsetMilliTicks > 3500 {
+		t.Errorf("offset = %d mticks, want within +-3500 for +-3 tick sync error", sc.OffsetMilliTicks)
+	}
+	// Uncorrelated epoch draws: no systematic slope. Allow a loose band;
+	// the point is it must not masquerade as ppm-scale drift.
+	if sc.DriftMilliTicksPerKtick < -3000 || sc.DriftMilliTicksPerKtick > 3000 {
+		t.Errorf("drift = %d mticks/ktick, want near 0 for driftless epochs", sc.DriftMilliTicksPerKtick)
+	}
+	if sc.JitterMilliTicks == 0 {
+		t.Error("jitter = 0, want > 0: epoch offsets are non-constant")
+	}
+}

@@ -73,6 +73,15 @@ func New(p Params, nodes []graph.NodeID) *Ensemble {
 	return e
 }
 
+// Drift returns v's fixed clock drift in parts per billion (positive =
+// the local clock runs fast). It is the ground truth the clock-quality
+// estimator (internal/clock) is held to in tests.
+func (e *Ensemble) Drift(v graph.NodeID) int64 { return e.drifts[v] }
+
+// SetDrift pins v's drift to an exact ppb value, overriding the seeded
+// draw. Estimator convergence tests use it to inject a known slope.
+func (e *Ensemble) SetDrift(v graph.NodeID, ppb int64) { e.drifts[v] = ppb }
+
 // epochBase returns the offset right after the sync at the start of the
 // given epoch, deterministically derived from (seed, node, epoch).
 func (e *Ensemble) epochBase(v graph.NodeID, epoch int64) int64 {
