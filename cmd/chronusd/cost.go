@@ -10,6 +10,7 @@ import (
 	"time"
 
 	chronus "github.com/chronus-sdn/chronus"
+	"github.com/chronus-sdn/chronus/internal/admit"
 	"github.com/chronus-sdn/chronus/internal/obs"
 )
 
@@ -244,12 +245,29 @@ func (s *server) traceEvents() []chronus.TraceEvent {
 	return append(older, ring...)
 }
 
-// handleUpdates serves GET /updates/{id}: the cost report of one
-// completed update, 404 for unknown span ids.
+// handleUpdates serves GET /updates/{id}. Admission ids resolve to the
+// update's lifecycle view (queued/planning/executing/done/refused/
+// failed), with the cost report attached once the update has a root
+// span; root span ids keep resolving to the bare cost report, so
+// clients that saved a span id from POST /update keep working. 404
+// only for ids known to neither space.
 func (s *server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad update id: %w", err))
+		return
+	}
+	if view, ok := s.admit.View(id); ok {
+		resp := struct {
+			admit.UpdateView
+			Cost *updateCost `json:"cost,omitempty"`
+		}{UpdateView: view}
+		if view.Span != 0 {
+			s.mu.Lock()
+			resp.Cost = s.costs[view.Span]
+			s.mu.Unlock()
+		}
+		writeJSON(w, http.StatusOK, resp)
 		return
 	}
 	s.mu.Lock()

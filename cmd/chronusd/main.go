@@ -21,9 +21,10 @@
 //	GET  /audit                      consistency-audit report over the recorded trace
 //	GET  /schemes                    registered scheduler names and accepted update methods
 //	GET  /watch                      live SSE stream of trace events, resumable by cursor
-//	GET  /updates/{id}               per-update cost report by root span id
+//	GET  /queue                      admission queue, tenants, capacity-ledger utilization
+//	GET  /updates/{id}               update lifecycle by admission id, or cost report by span id
 //	POST /advance  {"ticks": 100}    advance virtual time
-//	POST /update   {"method": "chronus"}   any registered scheme, or "tp"
+//	POST /update   {"method": "chronus"}   any registered scheme, or "tp"; "async": true for 202+id
 //
 // Update methods come from the scheme registry (internal/scheme): the
 // daemon plans with the named scheme and executes whatever shape it
@@ -57,6 +58,8 @@ func main() {
 	virtual := flag.Bool("virtual", false, "run switch agents in-process over virtual sessions instead of TCP (deterministic)")
 	journalDir := flag.String("journal-dir", "", "directory for the durable trace journal (empty disables)")
 	journalFsync := flag.String("journal-fsync", "rotate", "journal fsync policy: rotate, never, always")
+	queueCap := flag.Int("queue-cap", 0, "admission queue bound (0 = default 256)")
+	window := flag.Int("window", 0, "admission coalescing window per planning wave (0 = default 64)")
 	logLevel := flag.String("log-level", "info", "slog level: debug, info, warn, error")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
@@ -81,6 +84,7 @@ func main() {
 	srv, err := newServer(serverOptions{
 		Seed: *seed, Virtual: *virtual, Wall: true, Log: log,
 		JournalDir: *journalDir, JournalFsync: fsync,
+		QueueCap: *queueCap, Window: *window,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chronusd:", err)

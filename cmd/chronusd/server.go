@@ -14,6 +14,7 @@ import (
 	"time"
 
 	chronus "github.com/chronus-sdn/chronus"
+	"github.com/chronus-sdn/chronus/internal/admit"
 	"github.com/chronus-sdn/chronus/internal/api"
 	"github.com/chronus-sdn/chronus/internal/audit"
 	"github.com/chronus-sdn/chronus/internal/buildinfo"
@@ -52,6 +53,12 @@ type serverOptions struct {
 	// JournalSegmentBytes overrides the journal segment rotation size
 	// (0 = the journal's default). Tests use tiny segments.
 	JournalSegmentBytes int64
+	// QueueCap bounds the admission queue (0 = the admit engine's
+	// default of 256).
+	QueueCap int
+	// Window is the admission coalescing window: how many queued
+	// updates one planning wave covers (0 = the default of 64).
+	Window int
 }
 
 // server holds the daemon's state: the emulated network, its switch agents
@@ -69,12 +76,19 @@ type server struct {
 	health  *health.Engine
 	clocks  *clock.Estimator
 	journal *journal.Writer
+	admit   *admit.Engine
 	log     *slog.Logger
 
 	virtual bool
 	mu      sync.Mutex
 	updated bool
 	costs   map[uint64]*updateCost
+	// arrivals records when an admitted execute-update's HTTP request
+	// entered the handler (the cost meter's queue-wait origin); execs
+	// holds the executor's ground-truth outcome for the synchronous
+	// handler's response. Both are keyed by admission id.
+	arrivals map[uint64]time.Time
+	execs    map[uint64]execResult
 
 	listeners []net.Listener
 	conns     []*ofp.Conn
@@ -123,20 +137,22 @@ func newServer(o serverOptions) (*server, error) {
 	})
 	in.Obs = reg
 	srv := &server{
-		in:      in,
-		tb:      tb,
-		ctl:     chronus.NewController(tb, chronus.ControllerOptions{Seed: o.Seed, Obs: reg, Trace: tracer}),
-		clock:   chronus.NewClockEnsemble(chronus.DefaultClockParams(o.Seed), in.G.Nodes()),
-		flow:    chronus.FlowSpec{Name: "agg", Tag: 0, Path: in.Init, Rate: chronus.Rate(in.Demand)},
-		reg:     reg,
-		tracer:  tracer,
-		meter:   ofp.NewConnMeter(reg),
-		health:  health.New(reg),
-		clocks:  clock.New(reg),
-		journal: jw,
-		log:     o.Log,
-		virtual: o.Virtual,
-		costs:   make(map[uint64]*updateCost),
+		in:       in,
+		tb:       tb,
+		ctl:      chronus.NewController(tb, chronus.ControllerOptions{Seed: o.Seed, Obs: reg, Trace: tracer}),
+		clock:    chronus.NewClockEnsemble(chronus.DefaultClockParams(o.Seed), in.G.Nodes()),
+		flow:     chronus.FlowSpec{Name: "agg", Tag: 0, Path: in.Init, Rate: chronus.Rate(in.Demand)},
+		reg:      reg,
+		tracer:   tracer,
+		meter:    ofp.NewConnMeter(reg),
+		health:   health.New(reg),
+		clocks:   clock.New(reg),
+		journal:  jw,
+		log:      o.Log,
+		virtual:  o.Virtual,
+		costs:    make(map[uint64]*updateCost),
+		arrivals: make(map[uint64]time.Time),
+		execs:    make(map[uint64]execResult),
 	}
 	srv.registerStageMetrics()
 	tb.Net.SetObs(reg, tracer)
@@ -169,6 +185,25 @@ func newServer(o serverOptions) (*server, error) {
 		return nil, fmt.Errorf("clock probe cleanup: %w", err)
 	}
 	srv.clocks.Observe(srv.tracer.Events(srv.clocks.Cursor()))
+	// The admission pipeline: every POST /update goes through this
+	// engine, which debits the shared capacity ledger at plan time,
+	// plans disjoint updates in parallel, and batches conflicting ones
+	// through the joint validator. Single-proc planning in virtual mode
+	// keeps the trace byte-deterministic per seed.
+	procs := 0
+	if o.Virtual && !o.Wall {
+		procs = 1
+	}
+	srv.admit = admit.New(in.G, admit.Options{
+		QueueCap: o.QueueCap,
+		Window:   o.Window,
+		Procs:    procs,
+		Obs:      reg,
+		Trace:    tracer,
+		Now:      func() int64 { return int64(tb.Now()) },
+		Execute:  srv.executeAdmitted,
+	})
+	srv.health.SetQueue(queueAdapter{srv.admit})
 	return srv, nil
 }
 
@@ -215,6 +250,7 @@ func (s *server) handler() http.Handler {
 		"GET /schemes":               s.handleSchemes,
 		"GET /dash":                  s.handleDash,
 		"GET /watch":                 s.handleWatch,
+		"GET /queue":                 s.handleQueue,
 		"GET /updates/{id}":          s.handleUpdates,
 		"POST /advance":              s.handleAdvance,
 		"POST /update":               s.handleUpdate,
@@ -521,55 +557,94 @@ func (s *server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"now": s.tb.Now()})
 }
 
+// handleUpdate enqueues the request on the admission engine. The
+// response stays synchronous by default — submit, then wait for the
+// terminal state, so existing clients keep their one-shot semantics —
+// while {"async": true} returns 202 with the admission id immediately
+// (the id is registered before Submit returns, so a GET /updates/{id}
+// issued right away can never 404).
 func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	arrived := time.Now()
-	var req struct {
-		Method string `json:"method"`
-	}
+	var req updateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	s.mu.Lock()
-	if s.updated {
-		s.mu.Unlock()
-		writeErr(w, http.StatusConflict, errors.New("flow already migrated; restart the daemon"))
-		return
-	}
-	s.updated = true
-	s.mu.Unlock()
-
-	method := strings.ToLower(req.Method)
-	if method == "" {
-		method = "chronus"
-	}
-	// The meter brackets the whole update — execution AND the settling
-	// advance below, where time-triggered activations actually fire — so
-	// the stage breakdown sees the complete span tree.
-	meter := s.beginCost(arrived)
-	root, err := s.executeUpdate(method)
+	areq, err := s.admitRequest(&req)
 	if err != nil {
-		s.endCost(meter, root, method, "error")
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	// Let the transition complete, then report ground truth.
-	s.tb.AdvanceBy(chronus.SimTime(2 * (s.in.Init.Delay(s.in.G) + s.in.Fin.Delay(s.in.G))))
-	var drops float64
-	s.tb.Do(func() {
-		for _, id := range s.in.G.Nodes() {
-			drops += s.tb.Net.Switch(id).Dropped()
+	if areq.Execute {
+		// The emulated aggregate flow migrates once per daemon life; the
+		// slot is claimed at enqueue so a concurrent second POST gets the
+		// 409 before it can double-migrate.
+		s.mu.Lock()
+		if s.updated {
+			s.mu.Unlock()
+			writeErr(w, http.StatusConflict, errors.New("flow already migrated; restart the daemon"))
+			return
 		}
-	})
-	s.endCost(meter, root, method, "ok")
-	writeJSON(w, http.StatusOK, map[string]any{
-		"method":          req.Method,
-		"span":            uint64(root),
-		"now":             s.tb.Now(),
-		"congested_links": s.tb.Net.CongestedLinks(),
-		"overload_ticks":  s.tb.Net.TotalOverloadTicks(),
-		"drops":           drops,
-	})
+		s.updated = true
+		s.mu.Unlock()
+	}
+	id, err := s.admit.Submit(areq)
+	if err != nil {
+		if areq.Execute {
+			s.mu.Lock()
+			s.updated = false
+			s.mu.Unlock()
+		}
+		status := http.StatusBadRequest
+		if errors.Is(err, admit.ErrQueueFull) {
+			status = http.StatusTooManyRequests
+		}
+		writeErr(w, status, err)
+		return
+	}
+	if areq.Execute {
+		s.mu.Lock()
+		s.arrivals[id] = arrived
+		s.mu.Unlock()
+	}
+	if req.Async {
+		w.Header().Set("Location", fmt.Sprintf("/updates/%d", id))
+		writeJSON(w, http.StatusAccepted, map[string]any{"id": id, "state": "queued"})
+		// Async clients poll instead of waiting, so the handler pumps the
+		// wave planner itself; planMu serializes concurrent drains.
+		go s.admit.Drain()
+		return
+	}
+	view, err := s.admit.Wait(r.Context(), id)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	switch view.State {
+	case "failed":
+		writeErr(w, http.StatusBadRequest, errors.New(view.Reason))
+	case "refused":
+		writeErr(w, http.StatusConflict, fmt.Errorf("refused: %s", view.Reason))
+	default:
+		if areq.Execute {
+			s.mu.Lock()
+			out := s.execs[id]
+			delete(s.execs, id)
+			s.mu.Unlock()
+			writeJSON(w, http.StatusOK, map[string]any{
+				"id":              id,
+				"state":           view.State,
+				"method":          req.Method,
+				"span":            view.Span,
+				"now":             out.Now,
+				"congested_links": out.Congested,
+				"overload_ticks":  out.OverloadTicks,
+				"drops":           out.Drops,
+			})
+			return
+		}
+		writeJSON(w, http.StatusOK, view)
+	}
 }
 
 // executeUpdate wraps the whole update — solve, plan, execution — in

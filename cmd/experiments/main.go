@@ -47,7 +47,7 @@ func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "reduced scale for a fast pass")
 	seed := fs.Int64("seed", 1, "experiment seed")
-	runList := fs.String("run", "all", "comma-separated subset: tab2,fig6,fig7,fig8,fig9,fig10,fig11,ablations,solver,skewadv")
+	runList := fs.String("run", "all", "comma-separated subset: tab2,fig6,fig7,fig8,fig9,fig10,fig11,ablations,solver,skewadv,soak")
 	csvDir := fs.String("csv", "", "directory to also write CSV tables into")
 	procs := fs.Int("procs", runtime.GOMAXPROCS(0), "parallel experiment workers; 1 reproduces the serial path byte for byte")
 	benchJSON := fs.String("bench-json", "", "write a machine-readable run summary (per-experiment wall time, per-table rows, audit tallies) to this file")
@@ -239,6 +239,21 @@ func run(args []string, w io.Writer) error {
 				return err
 			}
 			return emit("skewadv", "Skew adversary: forecast vs observed health vs audited truth as sync error sweeps past slack", expt.SkewAdvTable(points))
+		}); err != nil {
+			return err
+		}
+	}
+	if selected("soak") {
+		if err := timed("soak", func() error {
+			res, err := expt.Soak(cfg)
+			if err != nil {
+				return err
+			}
+			if res.Violations != 0 || res.Overcommits != 0 || res.AuditViolations != 0 {
+				return fmt.Errorf("soak gate: %d joint violations, %d ledger overcommits, %d audit violations (all must be 0)",
+					res.Violations, res.Overcommits, res.AuditViolations)
+			}
+			return emit("soak", "Admission soak: queued-up-front updates drained in waves, holds cycling, auditor online", expt.SoakTable(res))
 		}); err != nil {
 			return err
 		}

@@ -33,6 +33,31 @@ func TestDocsListEveryDaemonEndpoint(t *testing.T) {
 	}
 }
 
+// TestDocsDescribeAdmissionPipeline pins the admission-pipeline docs:
+// the README must name every update lifecycle state next to its REST
+// table, and EXPERIMENTS.md must walk through the soak generator that
+// gates the pipeline in CI.
+func TestDocsDescribeAdmissionPipeline(t *testing.T) {
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, state := range []string{"queued", "planning", "executing", "done", "refused", "failed"} {
+		if !strings.Contains(string(readme), fmt.Sprintf("`%s`", state)) {
+			t.Errorf("README.md does not document update state `%s`", state)
+		}
+	}
+	expts, err := os.ReadFile("EXPERIMENTS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"-run soak", "chronus_admit_ledger_overcommit_total"} {
+		if !strings.Contains(string(expts), want) {
+			t.Errorf("EXPERIMENTS.md does not mention %q", want)
+		}
+	}
+}
+
 func TestDocsMentionEveryScheme(t *testing.T) {
 	for _, doc := range []string{"README.md", "EXPERIMENTS.md"} {
 		data, err := os.ReadFile(doc)

@@ -1,0 +1,285 @@
+package admit
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/chronus-sdn/chronus/internal/graph"
+	"github.com/chronus-sdn/chronus/internal/obs"
+)
+
+// pods builds n disjoint diamond pods in one graph and returns per-pod
+// (init, fin) path pairs. Flows in the same pod share links; flows in
+// different pods are fully disjoint.
+func pods(t *testing.T, n int, cap graph.Capacity) (*graph.Graph, [][2]graph.Path) {
+	t.Helper()
+	g := graph.New()
+	out := make([][2]graph.Path, n)
+	for i := 0; i < n; i++ {
+		ids := g.AddNodes(
+			fmt.Sprintf("p%d-s", i), fmt.Sprintf("p%d-a", i),
+			fmt.Sprintf("p%d-b", i), fmt.Sprintf("p%d-t", i))
+		s, a, b, d := ids[0], ids[1], ids[2], ids[3]
+		for _, l := range [][2]graph.NodeID{{s, a}, {a, d}, {s, b}, {b, d}} {
+			if err := g.AddLink(l[0], l[1], cap, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		out[i] = [2]graph.Path{{s, a, d}, {s, b, d}}
+	}
+	return g, out
+}
+
+func planOnly(p [2]graph.Path, d graph.Capacity) Request {
+	return Request{Tenant: "t", Flow: "f", Demand: d, Init: p[0], Fin: p[1]}
+}
+
+func TestSubmitRegistersSynchronously(t *testing.T) {
+	g, pp := pods(t, 1, 10)
+	e := New(g, Options{})
+	id, err := e.Submit(planOnly(pp[0], 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The id must resolve the instant Submit returns — no 404 window.
+	v, ok := e.View(id)
+	if !ok {
+		t.Fatalf("update %d not registered at submit", id)
+	}
+	if v.State != string(StateQueued) {
+		t.Fatalf("state %s, want queued", v.State)
+	}
+}
+
+func TestWaitPlansAndCompletes(t *testing.T) {
+	g, pp := pods(t, 1, 10)
+	e := New(g, Options{})
+	id, err := e.Submit(planOnly(pp[0], 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := e.Wait(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.State != string(StateDone) {
+		t.Fatalf("state %s (%s), want done", v.State, v.Reason)
+	}
+	if len(v.Schedule) == 0 {
+		t.Fatal("done update carries no schedule")
+	}
+	if u := e.Ledger().Utilization(); u.Holds != 0 {
+		t.Fatalf("plan-only completion left %d holds open", u.Holds)
+	}
+}
+
+func TestBackpressureRefusesWhenFull(t *testing.T) {
+	g, pp := pods(t, 1, 100)
+	e := New(g, Options{QueueCap: 2})
+	for i := 0; i < 2; i++ {
+		if _, err := e.Submit(planOnly(pp[0], 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := e.Submit(planOnly(pp[0], 1))
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	if s := e.Snapshot(); s.SaturationStreak != 1 || s.Depth != 2 {
+		t.Fatalf("snapshot %+v, want streak 1 depth 2", s)
+	}
+	// Draining makes room again and the streak resets on the next
+	// successful enqueue.
+	e.Drain()
+	if _, err := e.Submit(planOnly(pp[0], 1)); err != nil {
+		t.Fatal(err)
+	}
+	if s := e.Snapshot(); s.SaturationStreak != 0 {
+		t.Fatalf("saturation streak %d after room opened, want 0", s.SaturationStreak)
+	}
+}
+
+func TestPreemptionByPriority(t *testing.T) {
+	g, pp := pods(t, 1, 100)
+	e := New(g, Options{QueueCap: 1})
+	low, err := e.Submit(Request{Tenant: "bulk", Flow: "f", Demand: 1, Init: pp[0][0], Fin: pp[0][1], Priority: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equal priority does not preempt: backpressure instead.
+	if _, err := e.Submit(Request{Tenant: "bulk", Flow: "f", Demand: 1, Init: pp[0][0], Fin: pp[0][1], Priority: 0}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("equal-priority submit: %v, want ErrQueueFull", err)
+	}
+	// Higher priority evicts the queued low-priority update.
+	hi, err := e.Submit(Request{Tenant: "urgent", Flow: "g", Demand: 1, Init: pp[0][0], Fin: pp[0][1], Priority: 5})
+	if err != nil {
+		t.Fatalf("high-priority submit refused: %v", err)
+	}
+	v, _ := e.View(low)
+	if v.State != string(StateRefused) {
+		t.Fatalf("victim state %s, want refused", v.State)
+	}
+	if v.Reason == "" {
+		t.Fatal("preempted update has no reason")
+	}
+	if v, _ = e.View(hi); v.State != string(StateQueued) {
+		t.Fatalf("preemptor state %s, want queued", v.State)
+	}
+	snap := e.Snapshot()
+	var bulk *TenantView
+	for i := range snap.Tenants {
+		if snap.Tenants[i].Tenant == "bulk" {
+			bulk = &snap.Tenants[i]
+		}
+	}
+	if bulk == nil || bulk.Preempted != 1 {
+		t.Fatalf("tenant accounting %+v, want bulk preempted=1", snap.Tenants)
+	}
+}
+
+func TestConflictComponents(t *testing.T) {
+	g, pp := pods(t, 2, 20)
+	e := New(g, Options{})
+	// Two flows in pod 0 share links; one flow in pod 1 is disjoint.
+	a, _ := e.Submit(planOnly(pp[0], 4))
+	b, _ := e.Submit(planOnly(pp[0], 4))
+	c, _ := e.Submit(planOnly(pp[1], 4))
+	e.Drain()
+	for _, tc := range []struct {
+		id   uint64
+		size int
+	}{{a, 2}, {b, 2}, {c, 1}} {
+		v, _ := e.View(tc.id)
+		if v.State != string(StateDone) {
+			t.Fatalf("update %d state %s (%s), want done", tc.id, v.State, v.Reason)
+		}
+		if v.ComponentSize != tc.size {
+			t.Fatalf("update %d component size %d, want %d", tc.id, v.ComponentSize, tc.size)
+		}
+	}
+}
+
+func TestLedgerRefusalAndRetryAfterCompletion(t *testing.T) {
+	g, pp := pods(t, 1, 10)
+	e := New(g, Options{})
+	first, err := e.Submit(Request{Tenant: "t", Flow: "f", Demand: 6, Init: pp[0][0], Fin: pp[0][1], Hold: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := e.Submit(Request{Tenant: "t", Flow: "g", Demand: 6, Init: pp[0][0], Fin: pp[0][1], Hold: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Drain()
+	v, _ := e.View(first)
+	if v.State != string(StateExecuting) {
+		t.Fatalf("first state %s (%s), want executing (held)", v.State, v.Reason)
+	}
+	if v, _ = e.View(second); v.State != string(StateRefused) {
+		t.Fatalf("second state %s, want refused while first holds the links", v.State)
+	}
+	// Completion credits the ledger; the same request now fits.
+	e.Complete(first)
+	if v, _ = e.View(first); v.State != string(StateDone) {
+		t.Fatalf("first state %s after Complete, want done", v.State)
+	}
+	third, err := e.Submit(Request{Tenant: "t", Flow: "h", Demand: 6, Init: pp[0][0], Fin: pp[0][1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Drain()
+	if v, _ = e.View(third); v.State != string(StateDone) {
+		t.Fatalf("third state %s (%s), want done after credit", v.State, v.Reason)
+	}
+}
+
+func TestExecutorPath(t *testing.T) {
+	g, pp := pods(t, 1, 10)
+	var ran []uint64
+	e := New(g, Options{
+		Execute: func(u *Update) (obs.SpanID, error) {
+			ran = append(ran, u.ID)
+			return obs.SpanID(700 + u.ID), nil
+		},
+	})
+	id, err := e.Submit(Request{Tenant: "t", Flow: "agg", Demand: 4, Init: pp[0][0], Fin: pp[0][1], Execute: true, Method: "chronus"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := e.Wait(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.State != string(StateDone) || v.Span != uint64(700+id) {
+		t.Fatalf("view %+v, want done with span %d", v, 700+id)
+	}
+	if len(ran) != 1 || ran[0] != id {
+		t.Fatalf("executor ran %v, want [%d]", ran, id)
+	}
+	if u := e.Ledger().Utilization(); u.Holds != 0 {
+		t.Fatalf("executed update left %d holds", u.Holds)
+	}
+}
+
+func TestExecuteWithoutExecutorRefusedAtSubmit(t *testing.T) {
+	g, _ := pods(t, 1, 10)
+	e := New(g, Options{})
+	if _, err := e.Submit(Request{Execute: true, Method: "chronus"}); err == nil {
+		t.Fatal("execute request accepted with no executor")
+	}
+}
+
+// TestAdmissionTraceDeterministic drives the same submission sequence
+// through a serialized engine and a parallel one: the admission order,
+// terminal states and the full admit.* trace must be byte-identical —
+// workers only compute, the coordinator owns every observable effect.
+func TestAdmissionTraceDeterministic(t *testing.T) {
+	run := func(procs int) ([]byte, []string) {
+		g, pp := pods(t, 4, 12)
+		tracer := obs.NewTracer(obs.TracerOptions{})
+		e := New(g, Options{Procs: procs, Trace: tracer, Window: 16})
+		var ids []uint64
+		for round := 0; round < 3; round++ {
+			for p := 0; p < 4; p++ {
+				// Conflicting pairs within each pod plus a varying demand:
+				// some admit, some refuse, exercising every path.
+				for _, d := range []graph.Capacity{5, 4} {
+					id, err := e.Submit(Request{
+						Tenant: fmt.Sprintf("t%d", p), Flow: fmt.Sprintf("f%d", round),
+						Demand: d, Init: pp[p][0], Fin: pp[p][1],
+						Priority: p % 2,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					ids = append(ids, id)
+				}
+			}
+			e.Drain()
+		}
+		var states []string
+		for _, id := range ids {
+			v, _ := e.View(id)
+			states = append(states, fmt.Sprintf("%d:%s:%d", id, v.State, v.ComponentSize))
+		}
+		raw, err := json.Marshal(tracer.Events(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw, states
+	}
+	serialTrace, serialStates := run(1)
+	parallelTrace, parallelStates := run(8)
+	if string(serialTrace) != string(parallelTrace) {
+		t.Fatalf("trace differs between procs=1 and procs=8:\nserial:   %s\nparallel: %s",
+			serialTrace, parallelTrace)
+	}
+	for i := range serialStates {
+		if serialStates[i] != parallelStates[i] {
+			t.Fatalf("admission outcome %d differs: %s vs %s", i, serialStates[i], parallelStates[i])
+		}
+	}
+}

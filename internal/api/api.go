@@ -32,7 +32,8 @@ var Endpoints = []Endpoint{
 	{"GET", "/schemes", "registered update schemes"},
 	{"GET", "/dash", "self-contained HTML dashboard (spans timeline + health tiles)"},
 	{"GET", "/watch", "live SSE stream of trace events and spans, resumable with ?since= or Last-Event-ID"},
-	{"GET", "/updates/{id}", "per-update cost report (CPU, allocations, queue wait, per-stage latency) by root span id"},
+	{"GET", "/queue", "admission queue: depth, waves, per-tenant accounting, capacity-ledger utilization"},
+	{"GET", "/updates/{id}", "update lifecycle (queued/planning/executing/done states) by admission id, or cost report by root span id"},
 	{"POST", "/advance", "advance virtual time by ?ticks="},
-	{"POST", "/update", "plan and execute a path update (?method= selects the scheme)"},
+	{"POST", "/update", "enqueue a path update through the admission pipeline (sync by default; \"async\": true returns 202 + id)"},
 }

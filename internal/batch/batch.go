@@ -48,6 +48,12 @@ type Options struct {
 	// Gap adds idle ticks between consecutive flows' updates on top of the
 	// computed drain spacing.
 	Gap dynflow.Tick
+	// Window caps how many flows SolveEach jointly composes in one
+	// coalescing window; flows beyond it are deferred (refused with a
+	// "deferred" reason) for the caller to resubmit on the next window.
+	// 0 means unbounded. Solve ignores it: an all-or-nothing batch has
+	// no partial-admission window to defer into.
+	Window int
 }
 
 // schemeName resolves the effective registry name.
@@ -104,6 +110,27 @@ func Solve(g *graph.Graph, flows []Flow, opts Options) (*Plan, error) {
 		return nil, fmt.Errorf("batch: final configuration: %w", err)
 	}
 
+	plan, err := compose(g, flows, opts, s, name)
+	if err != nil {
+		return nil, err
+	}
+
+	report, err := dynflow.ValidateJoint(plan.Updates)
+	if err != nil {
+		return nil, err
+	}
+	plan.Report = report
+	if !report.OK() {
+		return plan, fmt.Errorf("batch: joint validation failed for flow(s) %s: %s",
+			strings.Join(violatingFlows(report, flows), ", "), report.Summary())
+	}
+	return plan, nil
+}
+
+// compose schedules flows in order, each on the residual topology of
+// the others' steady loads, with start times spaced past the previous
+// flow's drain. Errors name the failing flow.
+func compose(g *graph.Graph, flows []Flow, opts Options, s scheme.Scheme, name string) (*Plan, error) {
 	plan := &Plan{}
 	start := opts.Start
 	for i, f := range flows {
@@ -131,17 +158,76 @@ func Solve(g *graph.Graph, flows []Flow, opts Options) (*Plan, error) {
 		drain := dynflow.Tick(f.Init.Delay(g) + f.Fin.Delay(g))
 		start = res.Schedule.End() + drain + 1 + opts.Gap
 	}
-
-	report, err := dynflow.ValidateJoint(plan.Updates)
-	if err != nil {
-		return nil, err
-	}
-	plan.Report = report
-	if !report.OK() {
-		return plan, fmt.Errorf("batch: joint validation failed for flow(s) %s: %s",
-			strings.Join(violatingFlows(report, flows), ", "), report.Summary())
-	}
 	return plan, nil
+}
+
+// Refusal names one flow SolveEach could not admit and why. Reasons are
+// deterministic prose: the same flows in the same order produce the
+// same refusals byte for byte.
+type Refusal struct {
+	Flow   string `json:"flow"`
+	Reason string `json:"reason"`
+	// Deferred marks a flow refused only because the coalescing window
+	// was full — it is admissible as-is on a later window, unlike a flow
+	// refused for infeasibility or oversubscription.
+	Deferred bool `json:"deferred,omitempty"`
+}
+
+// SolveEach is Solve with per-flow admission: instead of failing the
+// whole batch on the first inadmissible flow, each flow is tried in
+// order and the ones that cannot be composed are refused individually
+// with a reason (steady-state oversubscription, missing link, no safe
+// schedule on the residual topology, a failed joint validation). Every
+// admission re-composes and joint-validates the whole admitted set —
+// an earlier flow's schedule can stop validating once a newcomer's
+// initial-path load joins the residual accounting, and that refusal
+// must land on the newcomer — so the returned plan is violation-free
+// under the joint validator by construction. With Options.Window > 0
+// at most Window flows are admitted per call and the rest are deferred
+// for the next window.
+func SolveEach(g *graph.Graph, flows []Flow, opts Options) (*Plan, []Refusal, error) {
+	name := opts.schemeName()
+	s, err := scheme.Lookup(name)
+	if err != nil {
+		return nil, nil, fmt.Errorf("batch: %w", err)
+	}
+	current := &Plan{Report: &dynflow.JointReport{}}
+	var admitted []Flow
+	var refusals []Refusal
+	refuse := func(f Flow, reason string, deferred bool) {
+		refusals = append(refusals, Refusal{Flow: f.Name, Reason: reason, Deferred: deferred})
+	}
+	for _, f := range flows {
+		if opts.Window > 0 && len(admitted) >= opts.Window {
+			refuse(f, fmt.Sprintf("deferred: coalescing window full (%d flows)", opts.Window), true)
+			continue
+		}
+		candidate := append(append([]Flow{}, admitted...), f)
+		if err := checkSteadyState(g, candidate, false); err != nil {
+			refuse(f, fmt.Sprintf("initial configuration: %v", err), false)
+			continue
+		}
+		if err := checkSteadyState(g, candidate, true); err != nil {
+			refuse(f, fmt.Sprintf("final configuration: %v", err), false)
+			continue
+		}
+		p, err := compose(g, candidate, opts, s, name)
+		if err != nil {
+			refuse(f, err.Error(), false)
+			continue
+		}
+		report, err := dynflow.ValidateJoint(p.Updates)
+		if err != nil {
+			return nil, refusals, err
+		}
+		if !report.OK() {
+			refuse(f, fmt.Sprintf("joint validation with the admitted set fails: %s", report.Summary()), false)
+			continue
+		}
+		p.Report = report
+		current, admitted = p, candidate
+	}
+	return current, refusals, nil
 }
 
 // violatingFlows names the flows implicated in a failed joint report: the

@@ -293,3 +293,72 @@ func TestBatchCrossSchemeJointClean(t *testing.T) {
 		}
 	}
 }
+
+// TestSolveEachRefusesPerFlow: where Solve fails the whole batch on one
+// inadmissible flow, SolveEach admits the rest and refuses just the
+// offender with a named reason.
+func TestSolveEachRefusesPerFlow(t *testing.T) {
+	g, flows := twoFlowNet(t)
+	// A third flow oversubscribes its final configuration: demand 2 on
+	// capacity-1 links can never settle.
+	bad := Flow{Name: "hog", Demand: 2,
+		Init: graph.Path{g.Lookup("s1"), g.Lookup("up"), g.Lookup("t1")},
+		Fin:  graph.Path{g.Lookup("s1"), g.Lookup("dn"), g.Lookup("t1")}}
+	plan, refusals, err := SolveEach(g, append(flows, bad), Options{})
+	if err != nil {
+		t.Fatalf("SolveEach: %v", err)
+	}
+	if len(plan.Updates) != 2 || !plan.Report.OK() {
+		t.Fatalf("admitted %d updates (report ok=%v), want the 2 good flows", len(plan.Updates), plan.Report.OK())
+	}
+	if len(refusals) != 1 || refusals[0].Flow != "hog" || refusals[0].Deferred {
+		t.Fatalf("refusals = %+v, want one non-deferred refusal of hog", refusals)
+	}
+	if refusals[0].Reason == "" {
+		t.Fatal("refusal carries no reason")
+	}
+}
+
+// TestSolveEachRefusalLandsOnNewcomer: an admitted flow's schedule must
+// never be invalidated by a later admission — the joint re-validation
+// charges the failure to the newcomer.
+func TestSolveEachRefusalLandsOnNewcomer(t *testing.T) {
+	g, flows := twoFlowNet(t)
+	// Duplicate f1's migration under a new name: the steady-state sum on
+	// its capacity-1 links breaks only once the clone joins the set.
+	clone := flows[0]
+	clone.Name = "f1-clone"
+	plan, refusals, err := SolveEach(g, []Flow{flows[0], flows[1], clone}, Options{})
+	if err != nil {
+		t.Fatalf("SolveEach: %v", err)
+	}
+	for _, u := range plan.Updates {
+		if u.Name == "f1-clone" {
+			t.Fatal("newcomer admitted over the earlier identical flow")
+		}
+	}
+	if len(refusals) != 1 || refusals[0].Flow != "f1-clone" {
+		t.Fatalf("refusals = %+v, want f1-clone refused", refusals)
+	}
+}
+
+// TestSolveEachWindowDefers: flows beyond the coalescing window are
+// deferred — marked resubmittable — not refused for cause.
+func TestSolveEachWindowDefers(t *testing.T) {
+	g, flows := twoFlowNet(t)
+	plan, refusals, err := SolveEach(g, flows, Options{Window: 1})
+	if err != nil {
+		t.Fatalf("SolveEach: %v", err)
+	}
+	if len(plan.Updates) != 1 {
+		t.Fatalf("admitted %d flows with window 1", len(plan.Updates))
+	}
+	if len(refusals) != 1 || !refusals[0].Deferred {
+		t.Fatalf("refusals = %+v, want one deferred", refusals)
+	}
+	// The deferred flow is admissible as-is on the next window.
+	plan2, refusals2, err := SolveEach(g, []Flow{flows[1]}, Options{Window: 1})
+	if err != nil || len(plan2.Updates) != 1 || len(refusals2) != 0 {
+		t.Fatalf("resubmission of deferred flow: %v %d updates %d refusals", err, len(plan2.Updates), len(refusals2))
+	}
+}

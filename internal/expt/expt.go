@@ -72,6 +72,22 @@ type Config struct {
 	// Fig6Samples and Fig6Interval configure the bandwidth time series.
 	Fig6Samples  int
 	Fig6Interval int64
+
+	// SoakUpdates is how many tenant updates the admission-pipeline soak
+	// drives through one engine (all enqueued before the first wave, so
+	// the peak in-flight count equals it).
+	SoakUpdates int
+	// SoakPods and SoakPodSize shape the soak topology: SoakPods
+	// link-disjoint random pods of SoakPodSize switches merged into one
+	// graph. Same-pod updates conflict; cross-pod updates are disjoint.
+	SoakPods    int
+	SoakPodSize int
+	// SoakAudits caps how many admitted schedules the soak additionally
+	// executes on an emulated testbed with the runtime auditor attached.
+	SoakAudits int
+	// SoakRepeats is how many rounds the disjoint-throughput comparison
+	// (conflict-graph pipeline vs one serialized joint batch) averages.
+	SoakRepeats int
 }
 
 // Default returns the paper-scale configuration.
@@ -92,6 +108,11 @@ func Default(seed int64) Config {
 		CDFInstances:    200,
 		Fig6Samples:     60,
 		Fig6Interval:    20,
+		SoakUpdates:     2500,
+		SoakPods:        8,
+		SoakPodSize:     5,
+		SoakAudits:      10,
+		SoakRepeats:     3,
 	}
 }
 
@@ -113,6 +134,11 @@ func Quick(seed int64) Config {
 		CDFInstances:    30,
 		Fig6Samples:     60,
 		Fig6Interval:    20,
+		SoakUpdates:     300,
+		SoakPods:        4,
+		SoakPodSize:     5,
+		SoakAudits:      3,
+		SoakRepeats:     1,
 	}
 }
 

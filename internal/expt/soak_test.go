@@ -1,0 +1,54 @@
+package expt
+
+import "testing"
+
+func TestSoakQuickCleanAndDeterministic(t *testing.T) {
+	cfg := Quick(7)
+	res, err := Soak(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violations != 0 {
+		t.Fatalf("%d jointly-invalid held sets admitted", res.Violations)
+	}
+	if res.Overcommits != 0 {
+		t.Fatalf("ledger overcommit self-check fired %d times", res.Overcommits)
+	}
+	if res.AuditViolations != 0 {
+		t.Fatalf("%d audit violations across %d audited executions", res.AuditViolations, res.Audited)
+	}
+	if res.Audited == 0 {
+		t.Fatal("no admitted schedule was audited")
+	}
+	if res.MaxInFlight != cfg.SoakUpdates {
+		t.Fatalf("peak in-flight %d, want all %d enqueued before the first wave", res.MaxInFlight, cfg.SoakUpdates)
+	}
+	if got := res.Done + res.Refused + res.Failed; got != cfg.SoakUpdates {
+		t.Fatalf("terminal states sum to %d of %d updates", got, cfg.SoakUpdates)
+	}
+	if res.Done == 0 || res.Refused == 0 {
+		t.Fatalf("degenerate soak: done=%d refused=%d — the mix should exercise both paths", res.Done, res.Refused)
+	}
+
+	// The deterministic columns must not depend on the worker count.
+	serial := cfg
+	serial.Procs = 1
+	res1, err := Soak(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel := cfg
+	parallel.Procs = 8
+	res8, err := Soak(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm := func(r *SoakResult) SoakResult {
+		c := *r
+		c.PipelineSeconds, c.BaselineSeconds, c.Speedup = 0, 0, 0
+		return c
+	}
+	if norm(res1) != norm(res8) {
+		t.Fatalf("soak outcome differs across worker counts:\nprocs=1: %+v\nprocs=8: %+v", norm(res1), norm(res8))
+	}
+}

@@ -58,6 +58,54 @@ const warnBurnPct = 50
 // clean applies; the all-time maximum stays visible separately.
 const SkewWindow = 8
 
+// Backpressure thresholds for the admission-queue rules.
+const (
+	// QueueWarnPct is the queue-depth percentage at which the engine
+	// degrades to WARN.
+	QueueWarnPct = 80
+	// SaturationStreakWarn is how many consecutive submissions may be
+	// refused or preempted at a full queue before saturation is judged
+	// sustained (WARN).
+	SaturationStreakWarn = 3
+	// QueueWaitWarnTicks is the oldest-queued-update age (virtual
+	// ticks) past which the engine degrades to WARN.
+	QueueWaitWarnTicks = 1000
+)
+
+// TenantQueue is one tenant's admission accounting as the health rules
+// see it: how much it submits, how often it is refused, and the
+// priority/preemption picture (whether its updates evict others or are
+// evicted themselves).
+type TenantQueue struct {
+	Tenant      string `json:"tenant"`
+	Submitted   int64  `json:"submitted"`
+	Refused     int64  `json:"refused,omitempty"`
+	Preempted   int64  `json:"preempted,omitempty"`
+	MaxPriority int    `json:"max_priority,omitempty"`
+}
+
+// QueueStats is the admission-queue surface the backpressure rules
+// judge (implemented by internal/admit via a daemon-side adapter).
+type QueueStats struct {
+	// Depth and Cap are the current and maximum queue occupancy.
+	Depth int `json:"depth"`
+	Cap   int `json:"cap"`
+	// OldestWaitTicks is the virtual-time age of the oldest queued
+	// update.
+	OldestWaitTicks int64 `json:"oldest_wait_ticks"`
+	// SaturationStreak counts consecutive submissions refused or
+	// preempted against a full queue; any successful enqueue with room
+	// resets it.
+	SaturationStreak int `json:"saturation_streak"`
+	// Tenants is the per-tenant accounting, ascending by name.
+	Tenants []TenantQueue `json:"tenants,omitempty"`
+}
+
+// QueueSource supplies live admission-queue stats.
+type QueueSource interface {
+	QueueHealth() QueueStats
+}
+
 // ClockSource supplies predictive clock-quality estimates (implemented
 // by internal/clock's Estimator). Skews and margins are in milliticks.
 type ClockSource interface {
@@ -156,6 +204,9 @@ type Verdict struct {
 	Switches []SwitchHealth `json:"switches,omitempty"`
 	// Disconnects counts control sessions lost since the plan was set.
 	Disconnects int64 `json:"disconnects"`
+	// Queue reports the admission pipeline the backpressure rules
+	// judged; nil when no QueueSource is attached.
+	Queue *QueueStats `json:"queue,omitempty"`
 }
 
 // Engine folds trace events into live margins. All methods are safe
@@ -164,6 +215,7 @@ type Engine struct {
 	mu          sync.Mutex
 	reg         *obs.Registry
 	clock       ClockSource
+	queue       QueueSource
 	plan        *Plan
 	slack       map[string]PlanSwitch
 	skews       map[string][]int64 // last SkewWindow absolute skews
@@ -200,6 +252,18 @@ func (e *Engine) SetClock(c ClockSource) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.clock = c
+}
+
+// SetQueue attaches the admission-queue source the backpressure rules
+// read from. Safe to leave unset: the engine then judges execution
+// margins only, as before.
+func (e *Engine) SetQueue(q QueueSource) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.queue = q
 }
 
 // SetPlan arms the engine with a new plan and clears the observations
@@ -310,7 +374,15 @@ func (e *Engine) windowedSkew(sw string) int64 {
 //	      scheduled apply tick (fires before the first late apply)
 //	WARN  burn >= 50% of slack on any switch, judged on the windowed
 //	      worst skew so a transient spike recovers
-//	OK    otherwise
+//	WARN  admission queue at >= 80% of capacity (backpressure close)
+//	WARN  sustained admission saturation: >= 3 consecutive submissions
+//	      refused or preempted against a full queue
+//	WARN  oldest queued update waiting > 1000 virtual ticks
+//	OK    otherwise (per-tenant preemption counts are surfaced in the
+//	      queue stats either way)
+//
+// Queue rules are independent of the plan: a saturated admission queue
+// degrades an otherwise idle daemon too.
 func (e *Engine) Verdict() Verdict {
 	if e == nil {
 		return Verdict{Level: OK.String()}
@@ -327,10 +399,33 @@ func (e *Engine) Verdict() Verdict {
 		v.Reasons = append(v.Reasons, fmt.Sprintf("%s: %s", l, reason))
 	}
 
+	if e.queue != nil {
+		qs := e.queue.QueueHealth()
+		v.Queue = &qs
+		if qs.Cap > 0 && qs.Depth*100 >= qs.Cap*QueueWarnPct {
+			raise(Warn, fmt.Sprintf("admission queue at %d%% of capacity (%d/%d)",
+				100*qs.Depth/qs.Cap, qs.Depth, qs.Cap))
+		}
+		if qs.SaturationStreak >= SaturationStreakWarn {
+			raise(Warn, fmt.Sprintf("sustained admission saturation: %d consecutive submissions refused or preempted at a full queue", qs.SaturationStreak))
+		}
+		if qs.OldestWaitTicks > QueueWaitWarnTicks {
+			raise(Warn, fmt.Sprintf("oldest queued update waiting %d ticks (threshold %d)",
+				qs.OldestWaitTicks, QueueWaitWarnTicks))
+		}
+		for _, t := range qs.Tenants {
+			if t.Preempted > 0 {
+				raise(OK, fmt.Sprintf("tenant %s: %d update(s) preempted by higher-priority submissions", t.Tenant, t.Preempted))
+			}
+		}
+	}
+
 	if e.plan == nil {
-		v.Level = OK.String()
-		v.Reasons = []string{"OK: idle (no update planned yet)"}
-		e.setSummaryGauges(OK, 0, 0)
+		if len(v.Reasons) == 0 {
+			v.Reasons = []string{"OK: idle (no update planned yet)"}
+		}
+		v.Level = level.String()
+		e.setSummaryGauges(level, 0, 0)
 		return v
 	}
 	plan := *e.plan

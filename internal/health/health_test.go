@@ -265,3 +265,65 @@ func TestNilEngine(t *testing.T) {
 		t.Fatalf("nil verdict = %s", v.Level)
 	}
 }
+
+// fakeQueue is a static QueueSource for the backpressure-rule tests.
+type fakeQueue struct{ qs QueueStats }
+
+func (f fakeQueue) QueueHealth() QueueStats { return f.qs }
+
+func queueReasons(t *testing.T, qs QueueStats) (Verdict, string) {
+	t.Helper()
+	e := New(obs.NewRegistry())
+	e.SetQueue(fakeQueue{qs})
+	v := e.Verdict()
+	return v, strings.Join(v.Reasons, "; ")
+}
+
+func TestQueueDepthWarns(t *testing.T) {
+	// Below the threshold: queue stats attach, but the verdict stays OK.
+	v, joined := queueReasons(t, QueueStats{Depth: 10, Cap: 100})
+	if v.Level != "OK" || v.Queue == nil || v.Queue.Depth != 10 {
+		t.Fatalf("shallow queue: level=%s queue=%+v (%s)", v.Level, v.Queue, joined)
+	}
+	// At 80% of capacity the backpressure rule fires even with no plan.
+	v, joined = queueReasons(t, QueueStats{Depth: 80, Cap: 100})
+	if v.Level != "WARN" || !strings.Contains(joined, "80% of capacity") {
+		t.Fatalf("saturating queue: level=%s reasons=%s", v.Level, joined)
+	}
+}
+
+func TestSustainedSaturationWarns(t *testing.T) {
+	v, joined := queueReasons(t, QueueStats{Depth: 1, Cap: 100, SaturationStreak: SaturationStreakWarn - 1})
+	if v.Level != "OK" {
+		t.Fatalf("short streak: level=%s reasons=%s", v.Level, joined)
+	}
+	v, joined = queueReasons(t, QueueStats{Depth: 1, Cap: 100, SaturationStreak: SaturationStreakWarn})
+	if v.Level != "WARN" || !strings.Contains(joined, "sustained admission saturation") {
+		t.Fatalf("sustained streak: level=%s reasons=%s", v.Level, joined)
+	}
+}
+
+func TestOldestWaitWarns(t *testing.T) {
+	v, joined := queueReasons(t, QueueStats{Depth: 1, Cap: 100, OldestWaitTicks: QueueWaitWarnTicks + 1})
+	if v.Level != "WARN" || !strings.Contains(joined, "oldest queued update") {
+		t.Fatalf("stale queue head: level=%s reasons=%s", v.Level, joined)
+	}
+}
+
+func TestTenantPreemptionSurfaces(t *testing.T) {
+	// Preemption is informational — surfaced per tenant without
+	// degrading the verdict level.
+	v, joined := queueReasons(t, QueueStats{Depth: 1, Cap: 100, Tenants: []TenantQueue{
+		{Tenant: "bulk", Submitted: 9, Preempted: 2},
+		{Tenant: "urgent", Submitted: 3},
+	}})
+	if v.Level != "OK" {
+		t.Fatalf("preemption degraded the verdict: level=%s reasons=%s", v.Level, joined)
+	}
+	if !strings.Contains(joined, "tenant bulk: 2 update(s) preempted") {
+		t.Fatalf("missing preemption reason: %s", joined)
+	}
+	if strings.Contains(joined, "tenant urgent") {
+		t.Fatalf("unpreempted tenant surfaced: %s", joined)
+	}
+}

@@ -1,6 +1,7 @@
 package chronus
 
 import (
+	"github.com/chronus-sdn/chronus/internal/admit"
 	"github.com/chronus-sdn/chronus/internal/controller"
 	"github.com/chronus-sdn/chronus/internal/core"
 	"github.com/chronus-sdn/chronus/internal/dynflow"
@@ -59,4 +60,5 @@ func RegisterAllMetrics(r *MetricsRegistry) {
 	controller.RegisterMetrics(r)
 	switchd.RegisterMetrics(r)
 	emu.RegisterMetrics(r)
+	admit.RegisterMetrics(r)
 }
