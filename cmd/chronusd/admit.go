@@ -119,7 +119,7 @@ func (s *server) executeAdmitted(u *admit.Update) (obs.SpanID, error) {
 		arrived = time.Now()
 	}
 	meter := s.beginCost(arrived)
-	root, err := s.executeUpdate(u.Req.Method)
+	root, err := s.executeUpdate(u.ID, u.Req.Tenant, u.Req.Method)
 	if err != nil {
 		s.endCost(meter, root, u.Req.Method, "error")
 		return root, err

@@ -23,6 +23,9 @@
 //	GET  /watch                      live SSE stream of trace events, resumable by cursor
 //	GET  /queue                      admission queue, tenants, capacity-ledger utilization
 //	GET  /updates/{id}               update lifecycle by admission id, or cost report by span id
+//	GET  /state?at=1234              time-travel observed-state snapshot (omit at for now)
+//	GET  /drift                      desired-vs-observed drift report per update
+//	GET  /links/R1/R2/timeline?since=0   one link's utilization timeseries
 //	POST /advance  {"ticks": 100}    advance virtual time
 //	POST /update   {"method": "chronus"}   any registered scheme, or "tp"; "async": true for 202+id
 //
@@ -60,6 +63,8 @@ func main() {
 	journalFsync := flag.String("journal-fsync", "rotate", "journal fsync policy: rotate, never, always")
 	queueCap := flag.Int("queue-cap", 0, "admission queue bound (0 = default 256)")
 	window := flag.Int("window", 0, "admission coalescing window per planning wave (0 = default 64)")
+	stateRing := flag.Int("state-ring", 0, "observed-state per-link timeline ring size (0 = default 1024)")
+	execHeadroom := flag.Int64("exec-headroom", 0, "ticks of headroom before a timed schedule's first activation (0 = default 50)")
 	logLevel := flag.String("log-level", "info", "slog level: debug, info, warn, error")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
@@ -85,6 +90,7 @@ func main() {
 		Seed: *seed, Virtual: *virtual, Wall: true, Log: log,
 		JournalDir: *journalDir, JournalFsync: fsync,
 		QueueCap: *queueCap, Window: *window,
+		StateRing: *stateRing, ExecHeadroom: *execHeadroom,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chronusd:", err)

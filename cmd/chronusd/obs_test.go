@@ -35,6 +35,10 @@ func TestDaemonResponseHeaders(t *testing.T) {
 		{"/health", "application/json"},
 		{"/clocks", "application/json"},
 		{"/audit", "application/json"},
+		{"/state", "application/json"},
+		{"/state?at=0", "application/json"},
+		{"/drift", "application/json"},
+		{"/links/R1/R2/timeline", "application/json"},
 		{"/trace?limit=5", "application/json"},
 		{"/trace", "application/x-ndjson"},
 		{"/metrics", "text/plain; version=0.0.4; charset=utf-8"},
@@ -309,7 +313,7 @@ func TestDaemonDashEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	page := string(body)
-	for _, want := range []string{"<!DOCTYPE html>", "fetch(\"/health\")", "fetch(\"/clocks\")", "fetch(\"/spans\")", "chronusd"} {
+	for _, want := range []string{"<!DOCTYPE html>", "fetch(\"/health\")", "fetch(\"/clocks\")", "fetch(\"/drift\")", "fetch(\"/spans\")", "chronusd"} {
 		if !strings.Contains(page, want) {
 			t.Fatalf("dashboard missing %q", want)
 		}

@@ -8,6 +8,7 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -23,6 +24,7 @@ import (
 	"github.com/chronus-sdn/chronus/internal/journal"
 	"github.com/chronus-sdn/chronus/internal/obs"
 	"github.com/chronus-sdn/chronus/internal/ofp"
+	"github.com/chronus-sdn/chronus/internal/state"
 )
 
 // serverOptions configures a daemon instance.
@@ -59,6 +61,15 @@ type serverOptions struct {
 	// Window is the admission coalescing window: how many queued
 	// updates one planning wave covers (0 = the default of 64).
 	Window int
+	// StateRing bounds the observed-state store's per-link timeline
+	// ring (0 = the store's default). Tests use tiny rings to exercise
+	// journal backfill.
+	StateRing int
+	// ExecHeadroom is how many ticks past "now" a timed schedule's
+	// first activation is shifted to clear the control latency
+	// (0 = the default of 50). Crash tests raise it so a kill lands
+	// mid-schedule deterministically.
+	ExecHeadroom int64
 }
 
 // server holds the daemon's state: the emulated network, its switch agents
@@ -77,7 +88,14 @@ type server struct {
 	clocks  *clock.Estimator
 	journal *journal.Writer
 	admit   *admit.Engine
+	state   *state.Store
 	log     *slog.Logger
+
+	// linkCaps maps directed link names ("A>B") to provisioned
+	// capacity — the timeline endpoint's existence check.
+	linkCaps map[string]int64
+	// headroom is the tick offset timed schedules are shifted by.
+	headroom int64
 
 	virtual bool
 	mu      sync.Mutex
@@ -113,7 +131,16 @@ func newServer(o serverOptions) (*server, error) {
 		wall = func() int64 { return time.Now().UnixNano() }
 	}
 	var jw *journal.Writer
+	var bootEvents []obs.Event
 	if o.JournalDir != "" {
+		// Read whatever earlier daemon runs left in the journal BEFORE
+		// attaching the new writer: the observed-state store prefeeds
+		// these so half-executed schedules of a dead run surface as
+		// stranded in GET /drift. A missing or empty directory is a
+		// fresh start, not an error.
+		if evs, _, err := journal.ReadAll(o.JournalDir, 0); err == nil {
+			bootEvents = evs
+		}
 		var err error
 		jw, err = journal.Open(journal.Options{
 			Dir:          o.JournalDir,
@@ -154,8 +181,29 @@ func newServer(o serverOptions) (*server, error) {
 		arrivals: make(map[uint64]time.Time),
 		execs:    make(map[uint64]execResult),
 	}
+	if srv.headroom = o.ExecHeadroom; srv.headroom <= 0 {
+		srv.headroom = 50
+	}
+	srv.state = state.New(state.Options{
+		JournalDir: o.JournalDir,
+		RingCap:    o.StateRing,
+		Obs:        reg,
+	})
+	if len(bootEvents) > 0 {
+		srv.state.Prefeed(bootEvents)
+		// The live tracer starts its sequence numbers over; mark the
+		// boundary explicitly so the first live event cannot be folded
+		// into the dead run.
+		srv.state.BeginRun()
+	}
 	srv.registerStageMetrics()
 	tb.Net.SetObs(reg, tracer)
+	srv.linkCaps = map[string]int64{}
+	tb.Do(func() {
+		for _, l := range tb.Net.Links() {
+			srv.linkCaps[in.G.Name(l.From())+">"+in.G.Name(l.To())] = int64(l.Capacity())
+		}
+	})
 	if o.Virtual {
 		srv.ctl.AttachAll(srv.clock)
 	} else if err := bootAgents(srv); err != nil {
@@ -204,6 +252,7 @@ func newServer(o serverOptions) (*server, error) {
 		Execute:  srv.executeAdmitted,
 	})
 	srv.health.SetQueue(queueAdapter{srv.admit})
+	srv.health.SetDrift(driftAdapter{srv})
 	return srv, nil
 }
 
@@ -235,25 +284,28 @@ func (s *server) Close() {
 // when the table and the wired handlers disagree in either direction.
 func (s *server) handler() http.Handler {
 	handlers := map[string]http.HandlerFunc{
-		"GET /status":                s.handleStatus,
-		"GET /topology":              s.handleTopology,
-		"GET /links":                 s.handleLinks,
-		"GET /switches/{name}/rules": s.handleRules,
-		"GET /bandwidth":             s.handleBandwidth,
-		"GET /packetins":             s.handlePacketIns,
-		"GET /metrics":               s.handleMetrics,
-		"GET /trace":                 s.handleTrace,
-		"GET /spans":                 s.handleSpans,
-		"GET /health":                s.handleHealth,
-		"GET /clocks":                s.handleClocks,
-		"GET /audit":                 s.handleAudit,
-		"GET /schemes":               s.handleSchemes,
-		"GET /dash":                  s.handleDash,
-		"GET /watch":                 s.handleWatch,
-		"GET /queue":                 s.handleQueue,
-		"GET /updates/{id}":          s.handleUpdates,
-		"POST /advance":              s.handleAdvance,
-		"POST /update":               s.handleUpdate,
+		"GET /status":                     s.handleStatus,
+		"GET /topology":                   s.handleTopology,
+		"GET /links":                      s.handleLinks,
+		"GET /switches/{name}/rules":      s.handleRules,
+		"GET /bandwidth":                  s.handleBandwidth,
+		"GET /packetins":                  s.handlePacketIns,
+		"GET /metrics":                    s.handleMetrics,
+		"GET /trace":                      s.handleTrace,
+		"GET /spans":                      s.handleSpans,
+		"GET /health":                     s.handleHealth,
+		"GET /clocks":                     s.handleClocks,
+		"GET /audit":                      s.handleAudit,
+		"GET /schemes":                    s.handleSchemes,
+		"GET /dash":                       s.handleDash,
+		"GET /watch":                      s.handleWatch,
+		"GET /queue":                      s.handleQueue,
+		"GET /updates/{id}":               s.handleUpdates,
+		"GET /state":                      s.handleState,
+		"GET /drift":                      s.handleDrift,
+		"GET /links/{from}/{to}/timeline": s.handleLinkTimeline,
+		"POST /advance":                   s.handleAdvance,
+		"POST /update":                    s.handleUpdate,
 	}
 	mux := http.NewServeMux()
 	for _, ep := range api.Endpoints {
@@ -482,12 +534,64 @@ func (s *server) handleTopology(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleLinks reports per-link load. The default live body documents
+// the rate semantics explicitly: "rate" is the instantaneous total at
+// the current tick, "peak" the highest total ever observed on the
+// link. ?at=<tick> serves a time-travel snapshot and ?since=<tick> the
+// per-link history, both folded from the observed-state store (the
+// HTTP surface over emu.Link.Timeline()); the two are mutually
+// exclusive.
 func (s *server) handleLinks(w http.ResponseWriter, r *http.Request) {
+	atQ, sinceQ := r.URL.Query().Get("at"), r.URL.Query().Get("since")
+	if atQ != "" && sinceQ != "" {
+		writeErr(w, http.StatusBadRequest, errBadQuery)
+		return
+	}
+	if atQ != "" {
+		at, err := parseTick(r, "at", -1)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		s.foldState()
+		snap := s.state.StateBody(at)
+		writeJSON(w, http.StatusOK, map[string]any{
+			"run": snap.Run, "at": snap.At, "links": snap.Links,
+		})
+		return
+	}
+	if sinceQ != "" {
+		since, err := parseTick(r, "since", 0)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		s.foldState()
+		type linkHistory struct {
+			Link     string                `json:"link"`
+			Capacity int64                 `json:"capacity"`
+			Points   []state.TimelinePoint `json:"points"`
+		}
+		out := []linkHistory{}
+		for _, name := range sortedLinkNames(s.linkCaps) {
+			tl, ok := s.state.LinkTimeline(name, since)
+			if !ok || len(tl.Points) == 0 {
+				continue
+			}
+			out = append(out, linkHistory{Link: name, Capacity: tl.Capacity, Points: tl.Points})
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"since": since, "links": out})
+		return
+	}
 	type linkInfo struct {
-		From      string  `json:"from"`
-		To        string  `json:"to"`
-		Capacity  int64   `json:"capacity"`
+		From     string `json:"from"`
+		To       string `json:"to"`
+		Capacity int64  `json:"capacity"`
+		// Rate is the instantaneous total at the current tick; Peak is
+		// the highest total ever observed (they diverge as soon as load
+		// subsides).
 		Rate      int64   `json:"rate"`
+		Peak      int64   `json:"peak"`
 		Bytes     float64 `json:"bytes"`
 		Overloads int     `json:"overloads"`
 	}
@@ -499,12 +603,24 @@ func (s *server) handleLinks(w http.ResponseWriter, r *http.Request) {
 				To:        s.in.G.Name(l.To()),
 				Capacity:  int64(l.Capacity()),
 				Rate:      int64(l.Rate()),
+				Peak:      int64(l.Peak()),
 				Bytes:     l.Bytes(),
 				Overloads: len(l.Overloads()),
 			})
 		}
 	})
 	writeJSON(w, http.StatusOK, out)
+}
+
+// sortedLinkNames returns the topology's directed link names in
+// ascending order (response bodies are golden-pinned).
+func sortedLinkNames(caps map[string]int64) []string {
+	names := make([]string, 0, len(caps))
+	for name := range caps {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 func (s *server) handleRules(w http.ResponseWriter, r *http.Request) {
@@ -649,12 +765,13 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 
 // executeUpdate wraps the whole update — solve, plan, execution — in
 // one root span and logs the outcome; see executePlanned for the
-// actual dispatch. Returns the root span id (the key the update's cost
-// report is filed under).
-func (s *server) executeUpdate(method string) (chronus.SpanID, error) {
+// actual dispatch. The admission id and tenant identify the update in
+// the state.intent record the drift detector verifies against. Returns
+// the root span id (the key the update's cost report is filed under).
+func (s *server) executeUpdate(id uint64, tenant, method string) (chronus.SpanID, error) {
 	root := s.tracer.StartSpan(int64(s.tb.Now()), "update", 0, obs.A("method", method))
 	s.ctl.SetSpan(root.SpanID())
-	err := s.executePlanned(method, root.SpanID())
+	err := s.executePlanned(id, tenant, method, root.SpanID())
 	s.ctl.SetSpan(0)
 	outcome := "ok"
 	if err != nil {
@@ -676,11 +793,26 @@ func (s *server) executeUpdate(method string) (chronus.SpanID, error) {
 // decision-only results have nothing to execute. "tp" is the one
 // non-scheme method — two-phase commit plans nothing, so it goes
 // straight to the execution engine. Each branch arms the health engine
-// with the plan it is about to execute.
-func (s *server) executePlanned(method string, root chronus.SpanID) error {
+// with the plan it is about to execute, and records the
+// planner-intended end-state (a state.intent event) before the first
+// FlowMod goes out so a crash mid-execution leaves provable intent in
+// the journal.
+func (s *server) executePlanned(id uint64, tenant, method string, root chronus.SpanID) error {
 	if method == "tp" {
 		s.health.SetPlan(health.Plan{Kind: "twophase", Valid: true})
-		return s.ctl.ExecuteTwoPhase(s.in, s.flow, 1)
+		now := int64(s.tb.Now())
+		newTag := s.flow.Tag + 1
+		key := fmt.Sprintf("%s/%d", s.flow.Name, newTag)
+		sws := make([]state.IntentSwitch, 0, len(s.in.Fin))
+		for _, v := range s.in.Fin {
+			next := "host"
+			if nh := s.in.Fin.NextHop(v); nh != chronus.Invalid {
+				next = s.in.G.Name(nh)
+			}
+			sws = append(sws, state.IntentSwitch{Switch: s.in.G.Name(v), Next: next, At: now})
+		}
+		s.emitIntent(id, tenant, method, key, 0, sws)
+		return s.ctl.ExecuteTwoPhase(s.in, s.flow, newTag)
 	}
 	res, err := chronus.SolveWith(method, s.in, chronus.SchemeOptions{
 		Obs: s.reg, Trace: s.tracer, VT: int64(s.tb.Now()), Span: root,
@@ -701,7 +833,9 @@ func (s *server) executePlanned(method string, root chronus.SpanID) error {
 			report = chronus.Validate(s.in, res.Schedule)
 		}
 		now := int64(s.tb.Now())
-		start := chronus.Tick(s.tb.Now()) + 50 // headroom past the control latency
+		// Headroom past the control latency (configurable so crash
+		// tests can park the applies far in the virtual future).
+		start := chronus.Tick(s.tb.Now()) + chronus.Tick(s.headroom)
 		sched := chronus.NewSchedule(start)
 		for v, tv := range res.Schedule.Times {
 			sched.Set(v, start+(tv-res.Schedule.Start))
@@ -722,6 +856,9 @@ func (s *server) executePlanned(method string, root chronus.SpanID) error {
 		s.tracer.EmitSpan("plan", root, now, now,
 			obs.A("kind", "timed"), obs.A("switches", len(sched.Times)),
 			obs.A("start", int64(start)), obs.A("valid", report.OK()))
+		s.emitIntent(id, tenant, method,
+			fmt.Sprintf("%s/%d", s.flow.Name, s.flow.Tag),
+			minPlanSlack(plan), s.intentForSchedule(sched))
 		return s.ctl.ExecuteTimed(s.in, sched, s.flow)
 	case len(res.Rounds) > 0 && res.Feasible == nil:
 		s.health.SetPlan(health.Plan{Kind: "rounds", Valid: true})
@@ -735,6 +872,19 @@ func (s *server) executePlanned(method string, root chronus.SpanID) error {
 		s.tracer.EmitSpan("plan", root, now, now,
 			obs.A("kind", "rounds"), obs.A("switches", len(sched.Times)),
 			obs.A("rounds", len(res.Rounds)))
+		// Barrier-paced rounds carry no per-switch apply ticks; the
+		// intent promises the end-state "as of plan time" and converges
+		// as the rounds execute.
+		sws := make([]state.IntentSwitch, 0, len(sched.Times))
+		for v := range sched.Times {
+			next := "host"
+			if nh := s.in.Fin.NextHop(v); nh != chronus.Invalid {
+				next = s.in.G.Name(nh)
+			}
+			sws = append(sws, state.IntentSwitch{Switch: s.in.G.Name(v), Next: next, At: now})
+		}
+		s.emitIntent(id, tenant, method,
+			fmt.Sprintf("%s/%d", s.flow.Name, s.flow.Tag), 0, sws)
 		return s.ctl.ExecuteBarrierPaced(s.in, sched, s.flow, 1)
 	default:
 		return fmt.Errorf("scheme %q decides feasibility but produces no executable schedule", method)

@@ -1,0 +1,175 @@
+package main
+
+// The observed-state surface: GET /state (time-travel snapshots), GET
+// /drift (desired-vs-observed classification) and the per-link
+// timeline endpoint, all served from the internal/state store. The
+// store folds the same trace stream the journal records, pulled
+// cursor-style on read (like the clock estimator and health engine) so
+// the update hot path never pays for it.
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	chronus "github.com/chronus-sdn/chronus"
+	"github.com/chronus-sdn/chronus/internal/health"
+	"github.com/chronus-sdn/chronus/internal/obs"
+	"github.com/chronus-sdn/chronus/internal/state"
+)
+
+// foldState pulls the trace events recorded since the last look into
+// the observed-state store. Events the ring evicted before they could
+// be folded are accounted as missed (the journal, when configured,
+// still has them).
+func (s *server) foldState() {
+	ps := s.tracer.PageStats(s.state.Cursor(), 0)
+	s.state.NoteSkipped(ps.Skipped)
+	s.state.Observe(ps.Events)
+}
+
+// parseTick reads one non-negative tick query parameter; absent yields
+// the def value.
+func parseTick(r *http.Request, name string, def int64) (int64, error) {
+	q := r.URL.Query().Get(name)
+	if q == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseInt(q, 10, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad %s: want a non-negative tick", name)
+	}
+	return v, nil
+}
+
+// handleState serves the observed-state snapshot. ?at=<tick> time
+// travels: the tables, pending FlowMods, link rates and update
+// overlays are reconstructed as of that tick of the current run. In
+// deterministic (virtual, no-wall) mode the response bytes are fixed
+// per seed.
+func (s *server) handleState(w http.ResponseWriter, r *http.Request) {
+	at, err := parseTick(r, "at", -1)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.foldState()
+	writeJSON(w, http.StatusOK, s.state.StateBody(at))
+}
+
+// handleDrift serves the desired-vs-observed drift report: every
+// tracked update's planner intent diffed against the observed tables,
+// classified converging / stranded / diverged / converged with
+// per-switch evidence. Updates recorded by earlier daemon runs on the
+// same journal directory are included — a half-executed schedule whose
+// daemon died shows up stranded here after the restart.
+func (s *server) handleDrift(w http.ResponseWriter, r *http.Request) {
+	s.foldState()
+	writeJSON(w, http.StatusOK, s.state.DriftBody())
+}
+
+// handleLinkTimeline serves one link's utilization timeseries from the
+// state store's ring, backfilled from the journal when ?since= reaches
+// further back than the ring retains.
+func (s *server) handleLinkTimeline(w http.ResponseWriter, r *http.Request) {
+	since, err := parseTick(r, "since", 0)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	name := r.PathValue("from") + ">" + r.PathValue("to")
+	if _, ok := s.linkCaps[name]; !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no link %q", name))
+		return
+	}
+	s.foldState()
+	tl, _ := s.state.LinkTimeline(name, since)
+	if tl.Capacity == 0 {
+		// The link exists but has not carried traffic yet; report its
+		// provisioned capacity rather than zero.
+		tl.Capacity = s.linkCaps[name]
+	}
+	writeJSON(w, http.StatusOK, tl)
+}
+
+// driftAdapter feeds the state store's drift report to the health
+// rules (the same attach-source pattern as queueAdapter).
+type driftAdapter struct{ s *server }
+
+func (d driftAdapter) DriftHealth() health.DriftStats {
+	d.s.foldState()
+	rep := d.s.state.DriftBody()
+	out := health.DriftStats{Tracked: rep.Tracked}
+	for _, u := range rep.Updates {
+		switch u.Status {
+		case "stranded":
+			out.Stranded++
+		case "diverged":
+			out.Diverged++
+		case "converging":
+			out.Converging++
+		default:
+			continue
+		}
+		if u.DriftAgeTicks > out.WorstAgeTicks {
+			out.WorstAgeTicks = u.DriftAgeTicks
+		}
+		out.Updates = append(out.Updates, health.DriftUpdate{
+			Update:     fmt.Sprintf("%d/%d", u.Run, u.ID),
+			Status:     u.Status,
+			AgeTicks:   u.DriftAgeTicks,
+			SlackTicks: u.SlackTicks,
+		})
+	}
+	return out
+}
+
+// emitIntent records an execute-update's planner-intended end-state as
+// a state.intent trace event at plan time — before the first FlowMod
+// is sent, so a daemon killed mid-schedule still has the intent in its
+// journal and the restarted daemon's drift report can prove what the
+// dead run left unfinished.
+func (s *server) emitIntent(id uint64, tenant, method, key string, slack int64, sws []state.IntentSwitch) {
+	if id == 0 {
+		return
+	}
+	s.tracer.Point(int64(s.tb.Now()), "state.intent",
+		obs.A("id", id), obs.A("tenant", tenant), obs.A("flow", s.flow.Name),
+		obs.A("key", key), obs.A("kind", "execute"), obs.A("method", method),
+		obs.A("slack", slack), obs.A("switches", state.EncodeIntentSwitches(sws)))
+}
+
+// intentForSchedule renders a shifted schedule's per-switch promises
+// the way the drift detector will verify them: final-path next hops at
+// absolute apply ticks.
+func (s *server) intentForSchedule(sched *chronus.Schedule) []state.IntentSwitch {
+	sws := make([]state.IntentSwitch, 0, len(sched.Times))
+	for v, tv := range sched.Times {
+		next := "host"
+		if nh := s.in.Fin.NextHop(v); nh != chronus.Invalid {
+			next = s.in.G.Name(nh)
+		}
+		sws = append(sws, state.IntentSwitch{
+			Switch: s.in.G.Name(v),
+			Next:   next,
+			At:     int64(tv),
+		})
+	}
+	return sws
+}
+
+// minPlanSlack extracts the tightest per-switch slack of a plan — the
+// tolerance the drift age is judged against.
+func minPlanSlack(plan health.Plan) int64 {
+	var min int64
+	for i, sw := range plan.Switches {
+		if i == 0 || sw.SlackTicks < min {
+			min = sw.SlackTicks
+		}
+	}
+	return min
+}
+
+// errBadQuery is the shared 400 for mutually exclusive query params.
+var errBadQuery = errors.New("at and since are mutually exclusive")

@@ -1,0 +1,429 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/chronus-sdn/chronus/internal/state"
+)
+
+// TestDaemonStateViews drives one deterministic update (seed 1,
+// virtual, no wall clock) and checks every read-side view of the
+// observed-state store against it: the byte-pinned /state and /drift
+// goldens, the live and time-travel snapshot semantics, and the /links
+// growth (rate vs peak, ?at=, ?since=, per-link timelines). One server
+// boot serves all subtests — the store is read-only under GETs.
+func TestDaemonStateViews(t *testing.T) {
+	_, ts := newTestServerOpts(t, serverOptions{Seed: 1, Virtual: true, Wall: false})
+
+	// Before the update the reverse links are provisioned but idle: the
+	// timeline endpoint reports the topology capacity, not a 404 and not
+	// a zero capacity.
+	var idle state.Timeline
+	getJSON(t, ts.URL+"/links/R9/R8/timeline", &idle)
+	if idle.Capacity == 0 || len(idle.Points) != 0 {
+		t.Fatalf("idle link timeline = %+v", idle)
+	}
+
+	resp, result := postJSON(t, ts.URL+"/update", `{"method": "chronus"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("update: %s (%v)", resp.Status, result)
+	}
+
+	t.Run("golden", func(t *testing.T) { stateGoldens(t, ts.URL) })
+	t.Run("snapshot", func(t *testing.T) { stateSnapshotSemantics(t, ts.URL) })
+	t.Run("links", func(t *testing.T) { linksStateViews(t, ts.URL) })
+}
+
+// stateGoldens pins the /state and /drift responses byte for byte in
+// deterministic mode: one chronus update on seed 1 must always fold to
+// the same observed-state snapshot and drift report.
+func stateGoldens(t *testing.T, base string) {
+	for _, tc := range []struct {
+		path   string
+		golden string
+	}{
+		{"/state", "state_chronus.golden"},
+		{"/drift", "drift_chronus.golden"},
+	} {
+		r, err := http.Get(base + tc.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := io.ReadAll(r.Body)
+		r.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join("testdata", tc.golden)
+		if *updateGolden {
+			if err := os.WriteFile(path, got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("%s drifted from golden file (re-run with -update to accept):\n--- got ---\n%s\n--- want ---\n%s", tc.path, got, want)
+		}
+	}
+}
+
+// stateSnapshotSemantics checks the live snapshot over a real update:
+// converged overlay, installed rules, and a time-travel view that
+// reconstructs the mid-schedule world.
+func stateSnapshotSemantics(t *testing.T, base string) {
+	var snap state.StateSnapshot
+	getJSON(t, base+"/state", &snap)
+	if snap.Run != 1 || snap.TimeTravel || snap.At != snap.Now {
+		t.Fatalf("live snapshot header = %+v", snap)
+	}
+	if len(snap.Switches) == 0 || len(snap.Links) == 0 {
+		t.Fatalf("snapshot empty: %d switches, %d links", len(snap.Switches), len(snap.Links))
+	}
+	if len(snap.Updates) != 1 || snap.Updates[0].Status != "converged" {
+		t.Fatalf("overlay = %+v", snap.Updates)
+	}
+	for _, sw := range snap.Switches {
+		for _, p := range sw.Pending {
+			t.Errorf("converged snapshot still pending on %s: %+v", sw.Switch, p)
+		}
+	}
+
+	// Time travel to before the update was planned: the overlay and the
+	// migrated rules must vanish, the header must say so.
+	var past state.StateSnapshot
+	getJSON(t, base+"/state?at=1", &past)
+	if !past.TimeTravel || past.At != 1 || past.Now != snap.Now {
+		t.Fatalf("past snapshot header = %+v", past)
+	}
+	if len(past.Updates) != 0 {
+		t.Fatalf("past snapshot lists a not-yet-planned update: %+v", past.Updates)
+	}
+
+	var drift state.DriftReport
+	getJSON(t, base+"/drift", &drift)
+	if drift.Tracked != 1 || len(drift.Updates) != 1 {
+		t.Fatalf("drift = %+v", drift)
+	}
+	u := drift.Updates[0]
+	if u.Status != "converged" || u.DriftAgeTicks != 0 || u.Method != "chronus" {
+		t.Fatalf("drift update = %+v", u)
+	}
+	if drift.Counts["converged"] != 1 {
+		t.Fatalf("drift counts = %v", drift.Counts)
+	}
+	for _, sw := range u.Switches {
+		if sw.State != "applied" || sw.AppliedAt == 0 || sw.ObservedNext != sw.IntendedNext {
+			t.Fatalf("switch evidence = %+v", sw)
+		}
+	}
+}
+
+// TestDaemonStateJournalByteIdentity: rebuilding the store offline from
+// the daemon's journal (the `mutp -state-from` path) must reproduce the
+// live GET /state and GET /drift bodies byte for byte.
+func TestDaemonStateJournalByteIdentity(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := newServer(serverOptions{Seed: 1, Virtual: true, Wall: false, JournalDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	resp, result := postJSON(t, ts.URL+"/update", `{"method": "chronus"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("update: %s (%v)", resp.Status, result)
+	}
+	liveState := getBody(t, ts.URL+"/state")
+	liveDrift := getBody(t, ts.URL+"/drift")
+	ts.Close()
+	srv.Close() // settles the journal
+
+	st, stats, err := state.FromJournal(dir, state.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Events == 0 || stats.Torn != 0 {
+		t.Fatalf("journal stats = %+v", stats)
+	}
+	replayState, err := state.Encode(st.StateBody(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayDrift, err := state.Encode(st.DriftBody())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if liveState != string(replayState) {
+		t.Errorf("offline /state diverges from live:\n--- live ---\n%s\n--- replay ---\n%s", liveState, replayState)
+	}
+	if liveDrift != string(replayDrift) {
+		t.Errorf("offline /drift diverges from live:\n--- live ---\n%s\n--- replay ---\n%s", liveDrift, replayDrift)
+	}
+}
+
+// TestDaemonRestartStrandedDrift is the crash-recovery scenario end to
+// end: a daemon executes a timed schedule with the applies parked far
+// in the future, dies after only some of them fired, and the restarted
+// daemon — reading the same journal — must classify the update as
+// stranded with per-switch applied/missing evidence and go CRIT.
+func TestDaemonRestartStrandedDrift(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := newServer(serverOptions{
+		Seed: 1, Virtual: true, Wall: false,
+		JournalDir: dir, ExecHeadroom: 5000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	resp, result := postJSON(t, ts.URL+"/update", `{"method": "chronus"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("update: %s (%v)", resp.Status, result)
+	}
+
+	// The headroom parked every apply in the virtual future: the update
+	// is converging with all switches pending.
+	var drift state.DriftReport
+	getJSON(t, ts.URL+"/drift", &drift)
+	if len(drift.Updates) != 1 || drift.Updates[0].Status != "converging" {
+		t.Fatalf("pre-advance drift = %+v", drift.Updates)
+	}
+	var minAt, maxAt int64
+	for i, sw := range drift.Updates[0].Switches {
+		if sw.State != "pending" {
+			t.Fatalf("pre-advance switch %s = %q, want pending", sw.Switch, sw.State)
+		}
+		if i == 0 || sw.IntendedAt < minAt {
+			minAt = sw.IntendedAt
+		}
+		if sw.IntendedAt > maxAt {
+			maxAt = sw.IntendedAt
+		}
+	}
+	if maxAt-minAt < 4 {
+		t.Fatalf("schedule too tight to split: applies at %d..%d", minAt, maxAt)
+	}
+
+	// Advance to a midpoint so part of the schedule fires, then kill the
+	// daemon. (Switch clocks carry bounded skew, so a tick strictly
+	// between the first and last apply splits the schedule.)
+	var status map[string]any
+	getJSON(t, ts.URL+"/status", &status)
+	now := int64(status["now"].(float64))
+	mid := (minAt + maxAt) / 2
+	resp, _ = postJSON(t, ts.URL+"/advance", fmt.Sprintf(`{"ticks": %d}`, mid-now))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("advance: %s", resp.Status)
+	}
+	getJSON(t, ts.URL+"/drift", &drift)
+	mixed := map[string]int{}
+	for _, sw := range drift.Updates[0].Switches {
+		mixed[sw.State]++
+	}
+	if mixed["applied"] == 0 || mixed["pending"] == 0 {
+		t.Fatalf("midpoint did not split the schedule: %v", mixed)
+	}
+	ts.Close()
+	srv.Close()
+
+	// The restart reads the dead run's journal: the half-executed update
+	// is stranded — nothing pends across a daemon death.
+	srv2, err := newServer(serverOptions{Seed: 1, Virtual: true, Wall: false, JournalDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2.handler())
+	t.Cleanup(func() {
+		ts2.Close()
+		srv2.Close()
+	})
+
+	// Decode into a fresh struct: json.Unmarshal merges into reused
+	// slice elements, which would let pre-restart fields leak through.
+	drift = state.DriftReport{}
+	getJSON(t, ts2.URL+"/drift", &drift)
+	if drift.Run != 2 {
+		t.Fatalf("restart run = %d, want 2", drift.Run)
+	}
+	if drift.Counts["stranded"] != 1 || len(drift.Updates) != 1 {
+		t.Fatalf("restart drift = %+v", drift)
+	}
+	u := drift.Updates[0]
+	if u.Status != "stranded" || u.Run != 1 {
+		t.Fatalf("stranded update = %+v", u)
+	}
+	evidence := map[string]int{}
+	for _, sw := range u.Switches {
+		evidence[sw.State]++
+		if sw.State == "missing" && sw.SentAt != 0 {
+			t.Errorf("dead-run sent evidence leaked into run 2: %+v", sw)
+		}
+	}
+	if evidence["applied"] == 0 || evidence["missing"] == 0 || evidence["pending"] != 0 {
+		t.Fatalf("stranded evidence = %v, want applied+missing, nothing pending", evidence)
+	}
+
+	// The health rules turn the stranding into a CRIT verdict.
+	var verdict struct {
+		Level   string   `json:"level"`
+		Reasons []string `json:"reasons"`
+		Drift   *struct {
+			Stranded int `json:"stranded"`
+		} `json:"drift"`
+	}
+	getJSON(t, ts2.URL+"/health", &verdict)
+	if verdict.Level != "CRIT" {
+		t.Fatalf("restart health = %+v", verdict)
+	}
+	if verdict.Drift == nil || verdict.Drift.Stranded != 1 {
+		t.Fatalf("health drift stats = %+v", verdict.Drift)
+	}
+	found := false
+	for _, r := range verdict.Reasons {
+		if strings.Contains(r, "stranded") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no stranded reason in %v", verdict.Reasons)
+	}
+
+	// And the gauges mirror it.
+	metrics := getBody(t, ts2.URL+"/metrics")
+	for _, line := range []string{
+		"chronus_state_tracked_updates 1",
+		"chronus_state_stranded_updates 1",
+	} {
+		if !strings.Contains(metrics, line) {
+			t.Errorf("/metrics missing %q", line)
+		}
+	}
+}
+
+// linksStateViews covers the /links growth: the live body's
+// rate-vs-peak split, the ?at= snapshot view and the ?since= history
+// view, plus the per-link timeline endpoint.
+func linksStateViews(t *testing.T, base string) {
+	// Live: every link reports both the instantaneous rate and the peak,
+	// and peak never lags rate.
+	var live []struct {
+		From string `json:"from"`
+		To   string `json:"to"`
+		Rate int64  `json:"rate"`
+		Peak int64  `json:"peak"`
+	}
+	getJSON(t, base+"/links", &live)
+	if len(live) == 0 {
+		t.Fatal("no links")
+	}
+	var peaked bool
+	for _, l := range live {
+		if l.Peak < l.Rate {
+			t.Errorf("link %s>%s peak %d < rate %d", l.From, l.To, l.Peak, l.Rate)
+		}
+		if l.Peak > 0 {
+			peaked = true
+		}
+	}
+	if !peaked {
+		t.Fatalf("no link ever carried traffic: %+v", live)
+	}
+
+	// ?at= is the snapshot view of the same links.
+	var at struct {
+		Run   int              `json:"run"`
+		At    int64            `json:"at"`
+		Links []state.LinkSnap `json:"links"`
+	}
+	getJSON(t, base+"/links?at=100", &at)
+	if at.Run != 1 || at.At != 100 {
+		t.Fatalf("at view header = %+v", at)
+	}
+
+	// ?since= is the history view: at least the migrated path's links
+	// carry multiple points.
+	var since struct {
+		Since int64 `json:"since"`
+		Links []struct {
+			Link     string                `json:"link"`
+			Capacity int64                 `json:"capacity"`
+			Points   []state.TimelinePoint `json:"points"`
+		} `json:"links"`
+	}
+	getJSON(t, base+"/links?since=0", &since)
+	if len(since.Links) == 0 {
+		t.Fatal("history view empty")
+	}
+	for _, l := range since.Links {
+		if len(l.Points) == 0 || l.Capacity == 0 {
+			t.Fatalf("history entry = %+v", l)
+		}
+	}
+
+	// The timeline endpoint serves one link's series.
+	var tl state.Timeline
+	getJSON(t, base+"/links/"+strings.Split(since.Links[0].Link, ">")[0]+"/"+strings.Split(since.Links[0].Link, ">")[1]+"/timeline?since=0", &tl)
+	if tl.Source != "ring" || len(tl.Points) == 0 {
+		t.Fatalf("timeline = %+v", tl)
+	}
+
+	// An unknown link 404s.
+	r, err := http.Get(base + "/links/R1/R7/timeline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, r.Body)
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown link timeline: %s, want 404", r.Status)
+	}
+}
+
+// TestDaemonBadQueryParams is the input-hardening table: every paged or
+// tick-parameterized GET must answer malformed parameters with a 400
+// and a JSON error envelope, never a 200 over garbage or a panic.
+func TestDaemonBadQueryParams(t *testing.T) {
+	_, ts := newTestServerOpts(t, serverOptions{Seed: 1, Virtual: true, Wall: false})
+	for _, path := range []string{
+		"/state?at=bogus",
+		"/state?at=-3",
+		"/state?at=1e9",
+		"/links?at=bogus",
+		"/links?since=bogus",
+		"/links?at=1&since=2",
+		"/links/R1/R2/timeline?since=bogus",
+		"/links/R1/R2/timeline?since=-1",
+		"/trace?since=bogus",
+		"/trace?limit=0",
+		"/trace?limit=bogus",
+		"/spans?since=bogus",
+		"/spans?limit=-1",
+	} {
+		t.Run(path, func(t *testing.T) {
+			resp, err := http.Get(ts.URL + path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status = %s, want 400", resp.Status)
+			}
+			if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+				t.Fatalf("Content-Type = %q", ct)
+			}
+			if !strings.Contains(string(body), `"error"`) {
+				t.Fatalf("no error envelope: %s", body)
+			}
+		})
+	}
+}

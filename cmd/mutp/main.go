@@ -9,6 +9,7 @@
 //	mutp -instance emulation -scheme opt
 //	mutp -instance random -n 30 -seed 7 -scheme all
 //	mutp -instance path/to/instance.json -scheme chronus -json
+//	mutp -state-from path/to/journal -drift
 //	mutp -list-schemes
 //
 // Schemes come from the registry (internal/scheme): -scheme accepts any
@@ -77,6 +78,9 @@ func run(args []string, out io.Writer) error {
 	auditRun := fs.Bool("audit", false, "execute the schedule on the emulated testbed and audit the trace for consistency violations")
 	auditJSON := fs.String("audit-json", "", "with -audit (or -audit-from): also write the audit report as JSON to this file")
 	auditFrom := fs.String("audit-from", "", "audit a captured JSONL trace file, or a chronusd journal directory, offline and exit")
+	stateFrom := fs.String("state-from", "", "rebuild the observed-state store from a chronusd journal directory, print the snapshot (byte-identical to the live GET /state) and exit")
+	stateAt := fs.Int64("state-at", -1, "with -state-from: time-travel the snapshot to this tick (-1 = the journal's newest)")
+	driftOut := fs.Bool("drift", false, "with -state-from: print the drift report (byte-identical to the live GET /drift) instead of the snapshot")
 	clocksRun := fs.Bool("clocks", false, "with -audit: also print per-switch clock-quality estimates (offset, drift, jitter, barrier RTT) from the executed trace")
 	logLevel := fs.String("log-level", "", "enable structured diagnostics on stderr at this slog level (debug, info, warn, error)")
 	version := fs.Bool("version", false, "print version and exit")
@@ -104,6 +108,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *auditFrom != "" {
 		return auditFromFile(out, *auditFrom, *auditJSON)
+	}
+	if *stateFrom != "" {
+		return stateFromJournal(out, *stateFrom, *stateAt, *driftOut)
 	}
 
 	in, err := loadInstance(*instance, *n, *seed)

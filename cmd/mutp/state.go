@@ -1,0 +1,44 @@
+package main
+
+// Offline observed-state reconstruction: `mutp -state-from <dir>`
+// rebuilds the state store from a chronusd journal directory and prints
+// exactly the bytes the dead daemon's GET /state (or, with -drift,
+// GET /drift) would have served — the crash post-mortem companion to
+// -audit-from. Warnings (torn tails, sequence regressions between runs)
+// go to stderr so stdout stays byte-identical to the live endpoint.
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/chronus-sdn/chronus/internal/state"
+)
+
+// stateFromJournal replays dir into a state store and writes the
+// snapshot (as of tick at; at < 0 = the journal's newest tick) or, when
+// drift is set, the drift report.
+func stateFromJournal(out io.Writer, dir string, at int64, drift bool) error {
+	s, stats, err := state.FromJournal(dir, state.Options{})
+	if err != nil {
+		return err
+	}
+	for _, w := range stats.Warnings {
+		fmt.Fprintf(os.Stderr, "warning: %s\n", w)
+	}
+	if stats.Events == 0 {
+		return fmt.Errorf("%s: no trace events (empty or fully torn journal)", dir)
+	}
+	var body any
+	if drift {
+		body = s.DriftBody()
+	} else {
+		body = s.StateBody(at)
+	}
+	b, err := state.Encode(body)
+	if err != nil {
+		return err
+	}
+	_, err = out.Write(b)
+	return err
+}

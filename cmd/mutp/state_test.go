@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/chronus-sdn/chronus/internal/journal"
+	"github.com/chronus-sdn/chronus/internal/obs"
+	"github.com/chronus-sdn/chronus/internal/state"
+)
+
+// stateTestJournal builds a journal directory holding one half-executed
+// update: intent over two switches, one apply observed, the second
+// FlowMod still parked when the stream ends.
+func stateTestJournal(t *testing.T) string {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "journal")
+	w, err := journal.Open(journal.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := []obs.Event{
+		{Seq: 1, VT: 10, Name: "state.intent", Attrs: []obs.Attr{
+			obs.A("id", uint64(1)), obs.A("tenant", "default"), obs.A("flow", "agg"),
+			obs.A("key", "agg/0"), obs.A("kind", "execute"), obs.A("method", "chronus"),
+			obs.A("slack", int64(5)),
+			obs.A("switches", state.EncodeIntentSwitches([]state.IntentSwitch{
+				{Switch: "v1", Next: "v3", At: 100},
+				{Switch: "v2", Next: "v4", At: 200},
+			})),
+		}},
+		{Seq: 2, VT: 12, Name: "sw.flowmod", Attrs: []obs.Attr{
+			obs.A("switch", "v1"), obs.A("kind", "timed"), obs.A("at", int64(100)),
+			obs.A("key", "agg/0"), obs.A("cmd", "mod"), obs.A("next", "v3"),
+		}},
+		{Seq: 3, VT: 13, Name: "sw.flowmod", Attrs: []obs.Attr{
+			obs.A("switch", "v2"), obs.A("kind", "timed"), obs.A("at", int64(200)),
+			obs.A("key", "agg/0"), obs.A("cmd", "mod"), obs.A("next", "v4"),
+		}},
+		{Seq: 4, VT: 100, Name: "sw.apply", Attrs: []obs.Attr{
+			obs.A("switch", "v1"), obs.A("skew", int64(0)), obs.A("at", int64(100)),
+			obs.A("key", "agg/0"), obs.A("cmd", "mod"), obs.A("next", "v3"),
+		}},
+	}
+	for _, e := range events {
+		w.Record(e)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestCLIStateFromJournal: the offline snapshot and drift report must
+// be exactly the bytes the state package encodes for the same journal —
+// the contract that makes them byte-identical to the dead daemon's
+// GET /state and GET /drift.
+func TestCLIStateFromJournal(t *testing.T) {
+	dir := stateTestJournal(t)
+
+	st, _, err := state.FromJournal(dir, state.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantState, err := state.Encode(st.StateBody(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDrift, err := state.Encode(st.DriftBody())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := runCLI(t, "-state-from", dir); got != string(wantState) {
+		t.Errorf("-state-from output:\n%s\nwant:\n%s", got, wantState)
+	}
+	if got := runCLI(t, "-state-from", dir, "-drift"); got != string(wantDrift) {
+		t.Errorf("-state-from -drift output:\n%s\nwant:\n%s", got, wantDrift)
+	}
+
+	// The snapshot itself must carry the half-executed picture: v1's
+	// rule installed, v2's FlowMod still pending, the update converging.
+	out := runCLI(t, "-state-from", dir)
+	for _, want := range []string{`"next": "v3"`, `"converging"`, `"pending_switches"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("snapshot missing %s:\n%s", want, out)
+		}
+	}
+
+	// Time travel before the FlowMods arrived: nothing installed yet.
+	at := runCLI(t, "-state-from", dir, "-state-at", "11")
+	if !strings.Contains(at, `"time_travel": true`) || strings.Contains(at, `"next": "v3"`) {
+		t.Errorf("-state-at 11 snapshot:\n%s", at)
+	}
+}
+
+func TestCLIStateFromEmptyJournal(t *testing.T) {
+	empty := t.TempDir()
+	if err := os.MkdirAll(empty, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err := run([]string{"-state-from", empty}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "no trace events") {
+		t.Fatalf("err = %v, want an explicit empty-journal error", err)
+	}
+}

@@ -58,6 +58,38 @@ func TestDocsDescribeAdmissionPipeline(t *testing.T) {
 	}
 }
 
+// TestDocsDescribeDriftDetection pins the observed-state docs: the
+// README must name every drift status the store can classify, DESIGN.md
+// must carry the §17 design chapter, and EXPERIMENTS.md must walk
+// through the offline replay and the crash-drift CI gate.
+func TestDocsDescribeDriftDetection(t *testing.T) {
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, status := range []string{"planned", "converging", "converged", "stranded", "diverged"} {
+		if !strings.Contains(string(readme), fmt.Sprintf("`%s`", status)) {
+			t.Errorf("README.md does not document drift status `%s`", status)
+		}
+	}
+	design, err := os.ReadFile("DESIGN.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(design), "## 17. Observed state & drift") {
+		t.Error("DESIGN.md is missing the §17 observed-state chapter")
+	}
+	expts, err := os.ReadFile("EXPERIMENTS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"-state-from", "crash-drift", "-exec-headroom"} {
+		if !strings.Contains(string(expts), want) {
+			t.Errorf("EXPERIMENTS.md does not mention %q", want)
+		}
+	}
+}
+
 func TestDocsMentionEveryScheme(t *testing.T) {
 	for _, doc := range []string{"README.md", "EXPERIMENTS.md"} {
 		data, err := os.ReadFile(doc)

@@ -20,6 +20,7 @@ import (
 	"github.com/chronus-sdn/chronus/internal/graph"
 	"github.com/chronus-sdn/chronus/internal/obs"
 	"github.com/chronus-sdn/chronus/internal/par"
+	"github.com/chronus-sdn/chronus/internal/state"
 )
 
 // component is one conflict-graph component of a wave: updates whose
@@ -295,6 +296,25 @@ func (e *Engine) resolvePlanned(u *Update, now int64, s *dynflow.Schedule, compo
 	e.trace(now, "admit.plan", obs.A("id", u.ID), obs.A("tenant", u.Req.Tenant),
 		obs.A("flow", u.Req.Flow), obs.A("wave", u.Wave), obs.A("component", componentSize),
 		obs.A("wait", now-u.EnqueuedVT))
+	// Record the planner's intended end-state for the observed-state
+	// store. Plan-only updates never touch the data plane, so the drift
+	// detector reports them as "planned" rather than holding switches
+	// accountable — but the intent is on the record (and in the journal)
+	// for offline inspection.
+	if s != nil {
+		sws := make([]state.IntentSwitch, 0, len(s.Times))
+		for v, tv := range s.Times {
+			next := "host"
+			if nh := u.Req.Fin.NextHop(v); nh != graph.Invalid {
+				next = e.g.Name(nh)
+			}
+			sws = append(sws, state.IntentSwitch{Switch: e.g.Name(v), Next: next, At: int64(tv)})
+		}
+		e.trace(now, "state.intent", obs.A("id", u.ID), obs.A("tenant", u.Req.Tenant),
+			obs.A("flow", u.Req.Flow), obs.A("key", u.Req.Flow), obs.A("kind", "plan"),
+			obs.A("method", e.o.Scheme), obs.A("slack", 0),
+			obs.A("switches", state.EncodeIntentSwitches(sws)))
+	}
 }
 
 // runExecutor hands an Execute-flagged update to the daemon's executor

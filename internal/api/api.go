@@ -34,6 +34,9 @@ var Endpoints = []Endpoint{
 	{"GET", "/watch", "live SSE stream of trace events and spans, resumable with ?since= or Last-Event-ID"},
 	{"GET", "/queue", "admission queue: depth, waves, per-tenant accounting, capacity-ledger utilization"},
 	{"GET", "/updates/{id}", "update lifecycle (queued/planning/executing/done states) by admission id, or cost report by root span id"},
+	{"GET", "/state", "time-travel observed-state snapshot (tables, pending FlowMods, link rates, update overlays) at ?at=<tick>"},
+	{"GET", "/drift", "desired-vs-observed drift: each update's planned end-state diffed against the observed tables (converging/stranded/diverged) with per-switch evidence"},
+	{"GET", "/links/{from}/{to}/timeline", "one link's utilization timeseries from ?since=<tick>, ring-served with journal backfill for older ticks"},
 	{"POST", "/advance", "advance virtual time by ?ticks="},
 	{"POST", "/update", "enqueue a path update through the admission pipeline (sync by default; \"async\": true returns 202 + id)"},
 }

@@ -106,6 +106,39 @@ type QueueSource interface {
 	QueueHealth() QueueStats
 }
 
+// DriftUpdate is one not-yet-converged update as the drift rules judge
+// it: its observed-state status (converging / stranded / diverged), how
+// long it has lagged its intent, and the slack its schedule promised.
+type DriftUpdate struct {
+	// Update identifies the update across daemon runs ("run/id").
+	Update string `json:"update"`
+	Status string `json:"status"`
+	// AgeTicks is how long the observed state has lagged the planned
+	// end-state (cumulative virtual ticks across restarts).
+	AgeTicks int64 `json:"age_ticks"`
+	// SlackTicks is the schedule's tightest per-switch slack — the
+	// tolerance the drift age is judged against.
+	SlackTicks int64 `json:"slack_ticks"`
+}
+
+// DriftStats is the desired-vs-observed surface the drift rules judge
+// (implemented by internal/state via a daemon-side adapter). Updates
+// lists only the not-yet-converged executions; converged and plan-only
+// updates carry no drift.
+type DriftStats struct {
+	Tracked       int           `json:"tracked"`
+	Stranded      int           `json:"stranded"`
+	Diverged      int           `json:"diverged"`
+	Converging    int           `json:"converging"`
+	WorstAgeTicks int64         `json:"worst_age_ticks"`
+	Updates       []DriftUpdate `json:"updates,omitempty"`
+}
+
+// DriftSource supplies live desired-vs-observed drift stats.
+type DriftSource interface {
+	DriftHealth() DriftStats
+}
+
 // ClockSource supplies predictive clock-quality estimates (implemented
 // by internal/clock's Estimator). Skews and margins are in milliticks.
 type ClockSource interface {
@@ -207,6 +240,9 @@ type Verdict struct {
 	// Queue reports the admission pipeline the backpressure rules
 	// judged; nil when no QueueSource is attached.
 	Queue *QueueStats `json:"queue,omitempty"`
+	// Drift reports the desired-vs-observed state the drift rules
+	// judged; nil when no DriftSource is attached.
+	Drift *DriftStats `json:"drift,omitempty"`
 }
 
 // Engine folds trace events into live margins. All methods are safe
@@ -216,6 +252,7 @@ type Engine struct {
 	reg         *obs.Registry
 	clock       ClockSource
 	queue       QueueSource
+	drift       DriftSource
 	plan        *Plan
 	slack       map[string]PlanSwitch
 	skews       map[string][]int64 // last SkewWindow absolute skews
@@ -264,6 +301,18 @@ func (e *Engine) SetQueue(q QueueSource) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.queue = q
+}
+
+// SetDrift attaches the observed-state store the drift rules read
+// from. Safe to leave unset: the engine then judges queue and execution
+// margins only, as before.
+func (e *Engine) SetDrift(d DriftSource) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.drift = d
 }
 
 // SetPlan arms the engine with a new plan and clears the observations
@@ -378,11 +427,18 @@ func (e *Engine) windowedSkew(sw string) int64 {
 //	WARN  sustained admission saturation: >= 3 consecutive submissions
 //	      refused or preempted against a full queue
 //	WARN  oldest queued update waiting > 1000 virtual ticks
+//	CRIT  an update is stranded mid-schedule (half-executed with no
+//	      applies pending — the observed-state store's restart-recovery
+//	      signal)
+//	WARN  an update's drift age exceeds its schedule slack (the
+//	      observed state is lagging the planner's intent longer than
+//	      the plan tolerated)
 //	OK    otherwise (per-tenant preemption counts are surfaced in the
 //	      queue stats either way)
 //
-// Queue rules are independent of the plan: a saturated admission queue
-// degrades an otherwise idle daemon too.
+// Queue and drift rules are independent of the plan: a saturated
+// admission queue or a stranded past update degrades an otherwise idle
+// daemon too.
 func (e *Engine) Verdict() Verdict {
 	if e == nil {
 		return Verdict{Level: OK.String()}
@@ -416,6 +472,20 @@ func (e *Engine) Verdict() Verdict {
 		for _, t := range qs.Tenants {
 			if t.Preempted > 0 {
 				raise(OK, fmt.Sprintf("tenant %s: %d update(s) preempted by higher-priority submissions", t.Tenant, t.Preempted))
+			}
+		}
+	}
+
+	if e.drift != nil {
+		ds := e.drift.DriftHealth()
+		v.Drift = &ds
+		if ds.Stranded > 0 {
+			raise(Crit, fmt.Sprintf("%d update(s) stranded mid-schedule (half-executed, no applies pending)", ds.Stranded))
+		}
+		for _, u := range ds.Updates {
+			if u.Status != "stranded" && u.AgeTicks > u.SlackTicks {
+				raise(Warn, fmt.Sprintf("update %s drifting %d ticks past its %d-tick slack (%s)",
+					u.Update, u.AgeTicks, u.SlackTicks, u.Status))
 			}
 		}
 	}

@@ -327,3 +327,51 @@ func TestTenantPreemptionSurfaces(t *testing.T) {
 		t.Fatalf("unpreempted tenant surfaced: %s", joined)
 	}
 }
+
+type fakeDrift struct{ ds DriftStats }
+
+func (f fakeDrift) DriftHealth() DriftStats { return f.ds }
+
+func driftReasons(t *testing.T, ds DriftStats) (Verdict, string) {
+	t.Helper()
+	e := New(obs.NewRegistry())
+	e.SetDrift(fakeDrift{ds})
+	v := e.Verdict()
+	return v, strings.Join(v.Reasons, "; ")
+}
+
+func TestDriftStrandedIsCrit(t *testing.T) {
+	// Converging within slack: stats attach, verdict stays OK.
+	v, joined := driftReasons(t, DriftStats{Tracked: 1, Converging: 1, Updates: []DriftUpdate{
+		{Update: "1/1", Status: "converging", AgeTicks: 0, SlackTicks: 20},
+	}})
+	if v.Level != "OK" || v.Drift == nil || v.Drift.Converging != 1 {
+		t.Fatalf("converging: level=%s drift=%+v (%s)", v.Level, v.Drift, joined)
+	}
+
+	// A stranded update is CRIT even with no plan armed: the drift rules
+	// judge dead runs, which by definition have no live plan.
+	v, joined = driftReasons(t, DriftStats{Tracked: 1, Stranded: 1, Updates: []DriftUpdate{
+		{Update: "1/1", Status: "stranded", AgeTicks: 300, SlackTicks: 20},
+	}})
+	if v.Level != "CRIT" || !strings.Contains(joined, "stranded mid-schedule") {
+		t.Fatalf("stranded: level=%s reasons=%s", v.Level, joined)
+	}
+}
+
+func TestDriftAgePastSlackWarns(t *testing.T) {
+	// Age within the schedule's slack: no rule fires.
+	v, joined := driftReasons(t, DriftStats{Tracked: 1, Converging: 1, Updates: []DriftUpdate{
+		{Update: "1/2", Status: "converging", AgeTicks: 19, SlackTicks: 20},
+	}})
+	if v.Level != "OK" {
+		t.Fatalf("within slack: level=%s reasons=%s", v.Level, joined)
+	}
+	// Past the slack: WARN naming the update.
+	v, joined = driftReasons(t, DriftStats{Tracked: 1, Diverged: 1, Updates: []DriftUpdate{
+		{Update: "1/2", Status: "diverged", AgeTicks: 21, SlackTicks: 20},
+	}})
+	if v.Level != "WARN" || !strings.Contains(joined, "update 1/2 drifting 21 ticks past its 20-tick slack") {
+		t.Fatalf("past slack: level=%s reasons=%s", v.Level, joined)
+	}
+}

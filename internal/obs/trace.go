@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"strconv"
 	"sync"
 )
 
@@ -37,6 +38,32 @@ type Event struct {
 	Name  string `json:"name"`
 	Dur   int64  `json:"dur,omitempty"`
 	Attrs []Attr `json:"attrs,omitempty"`
+}
+
+// Attr returns the value of the named attribute, "" when absent — the
+// shared accessor for event-stream consumers (audit, health, the state
+// store) that fold attributes by name.
+func (e Event) Attr(k string) string {
+	for _, a := range e.Attrs {
+		if a.K == k {
+			return a.V
+		}
+	}
+	return ""
+}
+
+// AttrInt returns the named attribute parsed as a base-10 integer, 0
+// when absent or malformed.
+func (e Event) AttrInt(k string) int64 {
+	v, _ := strconv.ParseInt(e.Attr(k), 10, 64)
+	return v
+}
+
+// AttrUint returns the named attribute parsed as a base-10 unsigned
+// integer, 0 when absent or malformed.
+func (e Event) AttrUint(k string) uint64 {
+	v, _ := strconv.ParseUint(e.Attr(k), 10, 64)
+	return v
 }
 
 // A Sink receives every event a Tracer records, in sequence order, at
